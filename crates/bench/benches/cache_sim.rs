@@ -1,0 +1,34 @@
+//! Criterion bench: cache-simulator throughput.
+//!
+//! Every Figure 5 point costs one full trace simulation, so the simulator's
+//! records/second rate bounds the whole evaluation pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn bench_simulator(c: &mut Criterion) {
+    let model = suite::perl();
+    let program = model.program();
+    let trace = model.testing_trace(50_000);
+    let layout = Layout::source_order(program);
+
+    let mut group = c.benchmark_group("cache_sim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, cache) in [
+        ("dm_8k", CacheConfig::direct_mapped_8k()),
+        ("2way_8k", CacheConfig::two_way_8k()),
+        ("dm_2k", CacheConfig::direct_mapped(2048).unwrap()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cache, |b, &cfg| {
+            b.iter(|| simulate(program, &layout, &trace, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

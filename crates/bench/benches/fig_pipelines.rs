@@ -1,0 +1,66 @@
+//! Criterion bench: end-to-end per-figure pipeline costs.
+//!
+//! Measures one unit of work from each experiment binary — one Figure 5
+//! perturbed run (perturb → place → simulate), one Figure 6 layout
+//! evaluation (mutate → linearize → metric + simulate) — so regressions in
+//! any stage show up as a slowdown of the figure that exercises it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tempo::place::metric::trg_conflict_cost;
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn bench_fig5_unit(c: &mut Criterion) {
+    let model = suite::m88ksim();
+    let program = model.program();
+    let train = model.training_trace(60_000);
+    let test = model.testing_trace(60_000);
+    let cache = CacheConfig::direct_mapped_8k();
+    let session = Session::new(program, cache).profile(&train);
+
+    let mut group = c.benchmark_group("fig5_unit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("perturb_place_simulate", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let p = session.perturbed(0.1, &mut rng);
+            let layout = p.place(&Gbsc::new());
+            p.evaluate(&layout, &test)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6_unit(c: &mut Criterion) {
+    let model = suite::m88ksim();
+    let program = model.program();
+    let train = model.training_trace(60_000);
+    let test = model.testing_trace(60_000);
+    let cache = CacheConfig::direct_mapped_8k();
+    let session = Session::new(program, cache).profile(&train);
+    let base = Gbsc::new().place_tuples(&session.context());
+
+    let mut group = c.benchmark_group("fig6_unit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("mutate_linearize_metric_simulate", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut tuples = base.clone();
+            tuples.randomize_offsets(25, &mut rng);
+            let layout = tuples.into_layout(&session.context());
+            let cost = trg_conflict_cost(program, &layout, &session.profile().trg_place, cache);
+            let stats = session.evaluate(&layout, &test);
+            (cost, stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_unit, bench_fig6_unit);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: placement-algorithm running time (§4.4).
+//!
+//! The paper bounds GBSC's running time by P³C² (P popular procedures, C
+//! cache lines) and reports "tens of seconds to a few minutes" on 1997
+//! hardware. These benches measure how PH, HKC, and GBSC scale in P (via
+//! benchmark choice) and how GBSC scales in C (via cache size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn session_for(
+    model: &tempo::workloads::BenchmarkModel,
+    cache: CacheConfig,
+    records: usize,
+) -> (tempo::ProfiledSession<'_>, usize) {
+    let train = model.training_trace(records);
+    let session = Session::new(model.program(), cache).profile(&train);
+    let p = session.profile().popular.count();
+    (session, p)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let cache = CacheConfig::direct_mapped_8k();
+    let models = [suite::m88ksim(), suite::perl(), suite::gcc()];
+
+    let mut group = c.benchmark_group("placement_by_benchmark");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for model in &models {
+        let (session, p) = session_for(model, cache, 60_000);
+        let label = format!("{}(P={p})", model.name());
+        group.bench_with_input(BenchmarkId::new("PH", &label), &session, |b, s| {
+            b.iter(|| s.place(&PettisHansen::new()))
+        });
+        group.bench_with_input(BenchmarkId::new("HKC", &label), &session, |b, s| {
+            b.iter(|| s.place(&CacheColoring::new()))
+        });
+        group.bench_with_input(BenchmarkId::new("GBSC", &label), &session, |b, s| {
+            b.iter(|| s.place(&Gbsc::new()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gbsc_cache_lines(c: &mut Criterion) {
+    // C scaling: 2 KB (64 lines) .. 16 KB (512 lines).
+    let model = suite::perl();
+    let mut group = c.benchmark_group("gbsc_by_cache_lines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kb in [2u32, 8, 16] {
+        let cache = CacheConfig::direct_mapped(kb * 1024).expect("valid");
+        let train = model.training_trace(60_000);
+        let session = Session::new(model.program(), cache).profile(&train);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}lines", cache.lines())),
+            &session,
+            |b, s| b.iter(|| s.place(&Gbsc::new())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_gbsc_cache_lines);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: TRG construction throughput (§3 / §4.4).
+//!
+//! The paper instruments executables at ~25x slowdown to build TRGs online;
+//! here we measure the offline Q-set pass: records/second for procedure-
+//! grain + chunk-grain TRG construction, with and without the §6 pair
+//! database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn bench_trg_build(c: &mut Criterion) {
+    let model = suite::perl();
+    let program = model.program();
+    let trace = model.training_trace(20_000);
+    let cache = CacheConfig::direct_mapped_8k();
+
+    let mut group = c.benchmark_group("trg_build");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("wcg_trg_select_trg_place", |b| {
+        b.iter(|| {
+            Profiler::new(program, cache)
+                .popularity(PopularitySelector::all())
+                .profile(&trace)
+        })
+    });
+    group.bench_function("with_pair_db", |b| {
+        b.iter(|| {
+            Profiler::new(program, cache)
+                .popularity(PopularitySelector::all())
+                .with_pair_db(true)
+                .profile(&trace)
+        })
+    });
+    group.finish();
+
+    // Q-bound scaling: the bound controls Q occupancy and thus edge work.
+    let mut group = c.benchmark_group("trg_build_q_bound");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for factor in [1u64, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| {
+                Profiler::new(program, cache)
+                    .popularity(PopularitySelector::all())
+                    .q_bound_factor(f)
+                    .profile(&trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trg_build);
+criterion_main!(benches);

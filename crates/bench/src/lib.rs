@@ -1,0 +1,164 @@
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §4 for
+//! the experiment index); this library holds the pieces they share:
+//! argument parsing, the standard trace lengths, CSV emission, and simple
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use tempo;
+
+/// Default number of trace records for training runs.
+///
+/// The paper's traces are 17M–146M basic blocks; we default to 400k
+/// control-flow transitions, which preserves the phase structure while
+/// keeping every experiment runnable in seconds. Override with the first
+/// CLI argument of each binary.
+pub const DEFAULT_TRAIN_LEN: usize = 400_000;
+
+/// Default number of trace records for testing runs.
+pub const DEFAULT_TEST_LEN: usize = 400_000;
+
+/// Parses `--records N` and `--seed N` style overrides from `args`.
+///
+/// Recognized flags: `--records`, `--seed`, `--runs`, `--out`. Unknown
+/// flags are ignored so binaries can layer their own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Trace length override.
+    pub records: usize,
+    /// RNG seed for perturbations.
+    pub seed: u64,
+    /// Number of randomized runs (Figure 5: 40; Figure 6: 80).
+    pub runs: usize,
+    /// Optional CSV output path.
+    pub out: Option<String>,
+}
+
+impl CommonArgs {
+    /// Parses the process arguments with the given defaults.
+    pub fn parse(default_records: usize, default_runs: usize) -> Self {
+        let mut args = CommonArgs {
+            records: default_records,
+            seed: 0xBA5E,
+            runs: default_runs,
+            out: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--records" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        args.records = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        args.seed = v;
+                    }
+                }
+                "--runs" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        args.runs = v;
+                    }
+                }
+                "--out" => {
+                    args.out = it.next();
+                }
+                _ => {}
+            }
+        }
+        args
+    }
+}
+
+/// Writes `rows` as CSV to `path` with the given header.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let mut body = String::new();
+    writeln!(body, "{header}").expect("writing to a String cannot fail");
+    for r in rows {
+        writeln!(body, "{r}").expect("writing to a String cannot fail");
+    }
+    std::fs::write(path, body)
+}
+
+/// Pearson correlation coefficient of a point set (0 for degenerate sets).
+pub fn pearson(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let vx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let vy: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Sorted copy of `values` (ascending), for CDF-style reporting.
+pub fn sorted(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    v
+}
+
+/// Median of `values` (0 for an empty slice).
+pub fn median(values: &[f64]) -> f64 {
+    let v = sorted(values);
+    if v.is_empty() {
+        0.0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((pearson(&pts) - 1.0).abs() < 1e-12);
+        let anti: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((pearson(&anti) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[]), 0.0);
+        assert_eq!(pearson(&[(1.0, 2.0)]), 0.0);
+        assert_eq!(pearson(&[(1.0, 1.0), (1.0, 2.0)]), 0.0);
+    }
+
+    #[test]
+    fn write_csv_roundtrips_rows() {
+        let path = std::env::temp_dir().join(format!("tempo-csv-{}.csv", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        write_csv(&path_str, "a,b", &["1,2".to_string(), "3,4".to_string()]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn median_and_sorted() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(sorted(&[2.0, 1.0]), vec![1.0, 2.0]);
+    }
+}

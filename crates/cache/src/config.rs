@@ -1,0 +1,278 @@
+//! Validated cache geometry.
+
+use std::error::Error;
+use std::fmt;
+
+/// Geometry of an instruction cache: total size, line size, and
+/// associativity.
+///
+/// All three quantities are validated at construction: sizes must be
+/// positive powers of two, the line size must divide the total size, and the
+/// associativity must divide the line count.
+///
+/// The paper's evaluation cache is [`CacheConfig::direct_mapped_8k`]:
+/// 8 KB, direct-mapped, 32-byte lines (§5.2).
+///
+/// # Example
+///
+/// ```
+/// use tempo_cache::CacheConfig;
+/// let c = CacheConfig::new(8 * 1024, 32, 1)?;
+/// assert_eq!(c.lines(), 256);
+/// assert_eq!(c.sets(), 256);
+/// # Ok::<(), tempo_cache::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size: u32,
+    line_size: u32,
+    associativity: u32,
+}
+
+/// Errors rejected by [`CacheConfig::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheConfigError {
+    /// Total size is zero or not a power of two.
+    BadSize(u32),
+    /// Line size is zero, not a power of two, or larger than the total size.
+    BadLineSize(u32),
+    /// Associativity is zero or does not divide the line count.
+    BadAssociativity(u32),
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::BadSize(s) => {
+                write!(f, "cache size {s} is not a positive power of two")
+            }
+            CacheConfigError::BadLineSize(s) => write!(
+                f,
+                "line size {s} is not a positive power of two dividing the cache size"
+            ),
+            CacheConfigError::BadAssociativity(a) => {
+                write!(f, "associativity {a} does not evenly divide the line count")
+            }
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+impl CacheConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] naming the first offending parameter.
+    pub fn new(size: u32, line_size: u32, associativity: u32) -> Result<Self, CacheConfigError> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(CacheConfigError::BadSize(size));
+        }
+        if line_size == 0 || !line_size.is_power_of_two() || line_size > size {
+            return Err(CacheConfigError::BadLineSize(line_size));
+        }
+        let lines = size / line_size;
+        if associativity == 0 || !lines.is_multiple_of(associativity) {
+            return Err(CacheConfigError::BadAssociativity(associativity));
+        }
+        Ok(CacheConfig {
+            size,
+            line_size,
+            associativity,
+        })
+    }
+
+    /// The paper's evaluation cache: 8 KB direct-mapped, 32-byte lines.
+    pub fn direct_mapped_8k() -> Self {
+        CacheConfig::new(8 * 1024, 32, 1).expect("preset geometry is valid")
+    }
+
+    /// A direct-mapped cache of the given size with 32-byte lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `size` is not a valid power-of-two size ≥ 32.
+    pub fn direct_mapped(size: u32) -> Result<Self, CacheConfigError> {
+        CacheConfig::new(size, 32, 1)
+    }
+
+    /// A 2-way set-associative 8 KB cache with 32-byte lines (§6 of the
+    /// paper).
+    pub fn two_way_8k() -> Self {
+        CacheConfig::new(8 * 1024, 32, 2).expect("preset geometry is valid")
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u32 {
+        self.line_size
+    }
+
+    /// Associativity (1 = direct-mapped).
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of cache lines (`size / line_size`).
+    pub fn lines(&self) -> u32 {
+        self.size / self.line_size
+    }
+
+    /// Number of sets (`lines / associativity`).
+    pub fn sets(&self) -> u32 {
+        self.lines() / self.associativity
+    }
+
+    /// Returns `true` for associativity 1.
+    pub fn is_direct_mapped(&self) -> bool {
+        self.associativity == 1
+    }
+
+    /// The memory line index of a byte address (`addr / line_size`).
+    #[inline]
+    pub fn line_of_addr(&self, addr: u64) -> u64 {
+        addr / u64::from(self.line_size)
+    }
+
+    /// The cache line index a byte address maps to in a direct-mapped cache
+    /// (`(addr / line_size) mod lines`) — the paper's mapping function in §3.
+    #[inline]
+    pub fn cache_line_of_addr(&self, addr: u64) -> u32 {
+        (self.line_of_addr(addr) % u64::from(self.lines())) as u32
+    }
+
+    /// The set index of a memory line.
+    #[inline]
+    pub fn set_of_line(&self, line: u64) -> u32 {
+        (line % u64::from(self.sets())) as u32
+    }
+
+    /// Number of cache lines a block of `bytes` starting at `addr` touches.
+    pub fn lines_touched(&self, addr: u64, bytes: u32) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let first = self.line_of_addr(addr);
+        let last = self.line_of_addr(addr + u64::from(bytes) - 1);
+        last - first + 1
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB, {}-way, {}-byte lines",
+            self.size / 1024,
+            self.associativity,
+            self.line_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_8k_dm() {
+        let c = CacheConfig::direct_mapped_8k();
+        assert_eq!(c.size(), 8192);
+        assert_eq!(c.line_size(), 32);
+        assert_eq!(c.associativity(), 1);
+        assert_eq!(c.lines(), 256);
+        assert_eq!(c.sets(), 256);
+        assert!(c.is_direct_mapped());
+        assert_eq!(c.to_string(), "8 KB, 1-way, 32-byte lines");
+    }
+
+    #[test]
+    fn preset_two_way() {
+        let c = CacheConfig::two_way_8k();
+        assert_eq!(c.sets(), 128);
+        assert!(!c.is_direct_mapped());
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert_eq!(
+            CacheConfig::new(0, 32, 1).unwrap_err(),
+            CacheConfigError::BadSize(0)
+        );
+        assert_eq!(
+            CacheConfig::new(3000, 32, 1).unwrap_err(),
+            CacheConfigError::BadSize(3000)
+        );
+        assert_eq!(
+            CacheConfig::new(8192, 0, 1).unwrap_err(),
+            CacheConfigError::BadLineSize(0)
+        );
+        assert_eq!(
+            CacheConfig::new(8192, 48, 1).unwrap_err(),
+            CacheConfigError::BadLineSize(48)
+        );
+        assert_eq!(
+            CacheConfig::new(32, 64, 1).unwrap_err(),
+            CacheConfigError::BadLineSize(64)
+        );
+        assert_eq!(
+            CacheConfig::new(8192, 32, 0).unwrap_err(),
+            CacheConfigError::BadAssociativity(0)
+        );
+        assert_eq!(
+            CacheConfig::new(8192, 32, 3).unwrap_err(),
+            CacheConfigError::BadAssociativity(3)
+        );
+    }
+
+    #[test]
+    fn fully_associative_is_allowed() {
+        let c = CacheConfig::new(1024, 32, 32).unwrap();
+        assert_eq!(c.sets(), 1);
+    }
+
+    #[test]
+    fn address_mapping() {
+        let c = CacheConfig::direct_mapped_8k();
+        assert_eq!(c.line_of_addr(0), 0);
+        assert_eq!(c.line_of_addr(31), 0);
+        assert_eq!(c.line_of_addr(32), 1);
+        assert_eq!(c.cache_line_of_addr(0), 0);
+        assert_eq!(c.cache_line_of_addr(8192), 0); // wraps
+        assert_eq!(c.cache_line_of_addr(8192 + 32), 1);
+    }
+
+    #[test]
+    fn set_mapping_two_way() {
+        let c = CacheConfig::two_way_8k();
+        assert_eq!(c.set_of_line(0), 0);
+        assert_eq!(c.set_of_line(128), 0); // wraps at 128 sets
+        assert_eq!(c.set_of_line(129), 1);
+    }
+
+    #[test]
+    fn lines_touched_counts_straddles() {
+        let c = CacheConfig::direct_mapped_8k();
+        assert_eq!(c.lines_touched(0, 0), 0);
+        assert_eq!(c.lines_touched(0, 1), 1);
+        assert_eq!(c.lines_touched(0, 32), 1);
+        assert_eq!(c.lines_touched(0, 33), 2);
+        assert_eq!(c.lines_touched(31, 2), 2); // straddles a boundary
+        assert_eq!(c.lines_touched(32, 64), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CacheConfigError::BadSize(7).to_string().contains('7'));
+        assert!(CacheConfigError::BadLineSize(9).to_string().contains('9'));
+        assert!(CacheConfigError::BadAssociativity(5)
+            .to_string()
+            .contains('5'));
+    }
+}

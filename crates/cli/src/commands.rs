@@ -1,0 +1,346 @@
+//! The CLI subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use tempo::cache::classify;
+use tempo::place::{TrgChains, WcgOffsets};
+use tempo::prelude::*;
+use tempo::trace::analysis::{reuse_distances, working_set_sizes};
+use tempo::trg::io::{read_profile, write_profile};
+use tempo::workloads::suite;
+
+use crate::args::ArgMap;
+use crate::CliError;
+
+fn open(path: &str) -> Result<BufReader<File>, CliError> {
+    Ok(BufReader::new(File::open(Path::new(path))?))
+}
+
+fn create(path: &str) -> Result<BufWriter<File>, CliError> {
+    Ok(BufWriter::new(File::create(Path::new(path))?))
+}
+
+fn load_program(args: &ArgMap) -> Result<Program, CliError> {
+    let path = args.require("program")?;
+    tempo::program::io::read_program(open(path)?).map_err(|e| CliError::Parse {
+        what: "program",
+        message: e.to_string(),
+    })
+}
+
+fn load_trace(args: &ArgMap, flag: &str, program: &Program) -> Result<Trace, CliError> {
+    let path = args.require(flag)?;
+    let trace = tempo::trace::io::read_binary(open(path)?).map_err(|e| CliError::Parse {
+        what: "trace",
+        message: e.to_string(),
+    })?;
+    if let Err(index) = trace.validate(program) {
+        return Err(CliError::Inconsistent(format!(
+            "trace record {index} does not fit the program"
+        )));
+    }
+    Ok(trace)
+}
+
+fn load_layout(args: &ArgMap, program: &Program) -> Result<Layout, CliError> {
+    let path = args.require("layout")?;
+    let layout = tempo::program::io::read_layout(open(path)?).map_err(|e| CliError::Parse {
+        what: "layout",
+        message: e.to_string(),
+    })?;
+    layout
+        .validate(program)
+        .map_err(|e| CliError::Inconsistent(format!("layout does not fit the program: {e}")))?;
+    Ok(layout)
+}
+
+/// `generate`: synthesize a benchmark program and/or trace.
+pub fn generate(args: &ArgMap) -> Result<(), CliError> {
+    let bench = args.require("bench")?.to_string();
+    let records: usize = args.get_or("records", 200_000)?;
+    let input = args.get("input").unwrap_or("train").to_string();
+    let seed: Option<u64> = args.get_parsed("seed")?;
+    let program_out = args.get("program").map(str::to_string);
+    let trace_out = args.get("trace").map(str::to_string);
+    args.finish()?;
+
+    let model = suite::standard_suite()
+        .into_iter()
+        .find(|m| m.name() == bench)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown benchmark `{bench}` (expected one of gcc, go, ghostscript, m88ksim, perl, vortex)"
+            ))
+        })?;
+
+    if let Some(path) = &program_out {
+        tempo::program::io::write_program(create(path)?, model.program()).map_err(|e| {
+            CliError::Parse {
+                what: "program",
+                message: e.to_string(),
+            }
+        })?;
+        println!(
+            "wrote {path}: {} procedures, {} bytes",
+            model.program().len(),
+            model.program().total_size()
+        );
+    }
+    if let Some(path) = &trace_out {
+        let mut spec = match input.as_str() {
+            "train" => model.training_input(),
+            "test" => model.testing_input(),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--input must be train or test, got `{other}`"
+                )))
+            }
+        };
+        if let Some(seed) = seed {
+            spec.seed = seed;
+        }
+        let trace = model.trace(&spec, records);
+        tempo::trace::io::write_binary(create(path)?, &trace).map_err(|e| CliError::Parse {
+            what: "trace",
+            message: e.to_string(),
+        })?;
+        println!("wrote {path}: {} records ({input} input)", trace.len());
+    }
+    if program_out.is_none() && trace_out.is_none() {
+        return Err(CliError::Usage(
+            "generate needs --program and/or --trace output paths".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// `profile`: build WCG + TRGs (+ optional pair database) from a trace.
+pub fn profile(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    let trace = load_trace(args, "trace", &program)?;
+    let cache = args.cache()?;
+    let coverage: f64 = args.get_or("coverage", 0.995)?;
+    let pair_db = args.switch("pair-db");
+    let out = args.require("out")?.to_string();
+    args.finish()?;
+
+    let profile = Profiler::new(&program, cache)
+        .popularity(PopularitySelector::coverage(coverage).with_min_count(2))
+        .with_pair_db(pair_db)
+        .profile(&trace);
+    write_profile(create(&out)?, &profile).map_err(|e| CliError::Parse {
+        what: "profile",
+        message: e.to_string(),
+    })?;
+    println!(
+        "wrote {out}: {} popular procedures, WCG {} edges, TRG_select {} edges, TRG_place {} edges, avg Q {:.1}",
+        profile.popular.count(),
+        profile.wcg.edge_count(),
+        profile.trg_select.edge_count(),
+        profile.trg_place.edge_count(),
+        profile.q_stats.average
+    );
+    Ok(())
+}
+
+fn algorithm_by_name(name: &str) -> Result<Box<dyn PlacementAlgorithm>, CliError> {
+    if let Some(seed) = name.strip_prefix("random:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad random seed in `{name}`")))?;
+        return Ok(Box::new(RandomOrder::new(seed)));
+    }
+    Ok(match name {
+        "default" => Box::new(SourceOrder::new()),
+        "random" => Box::new(RandomOrder::new(0)),
+        "ph" => Box::new(PettisHansen::new()),
+        "hkc" => Box::new(CacheColoring::new()),
+        "gbsc" => Box::new(Gbsc::new()),
+        "gbsc-sa" => Box::new(GbscSetAssoc::new()),
+        "trg-chains" => Box::new(TrgChains::new()),
+        "wcg-offsets" => Box::new(WcgOffsets::new()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm `{other}` (default|random[:SEED]|ph|hkc|gbsc|gbsc-sa|trg-chains|wcg-offsets)"
+            )))
+        }
+    })
+}
+
+/// `place`: run a placement algorithm against a saved profile.
+pub fn place(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    let profile_path = args.require("profile")?.to_string();
+    let algorithm = algorithm_by_name(args.require("algorithm")?)?;
+    let out = args.require("out")?.to_string();
+    let map_out = args.get("map").map(str::to_string);
+    args.finish()?;
+
+    let profile = read_profile(open(&profile_path)?).map_err(|e| CliError::Parse {
+        what: "profile",
+        message: e.to_string(),
+    })?;
+    if profile.popular.len() != program.len() {
+        return Err(CliError::Inconsistent(format!(
+            "profile covers {} procedures, program has {}",
+            profile.popular.len(),
+            program.len()
+        )));
+    }
+    let session = tempo::ProfiledSession::from_profile(&program, profile);
+    let layout = session.place(&*algorithm);
+    layout
+        .validate(&program)
+        .map_err(|e| CliError::Inconsistent(format!("algorithm produced invalid layout: {e}")))?;
+    tempo::program::io::write_layout(create(&out)?, &layout).map_err(|e| CliError::Parse {
+        what: "layout",
+        message: e.to_string(),
+    })?;
+    println!(
+        "wrote {out}: {} layout, span {} bytes ({} padding)",
+        algorithm.name(),
+        layout.span(&program),
+        layout.padding(&program)
+    );
+    if let Some(path) = map_out {
+        // A linker-script-style symbol map: one `name address` per line in
+        // address order, consumable by external tooling (e.g. to derive a
+        // GNU ld --symbol-ordering-file or a lld call).
+        use std::io::Write as _;
+        let mut w = create(&path)?;
+        writeln!(
+            w,
+            "# tempo layout map: {} on {} procedures",
+            algorithm.name(),
+            program.len()
+        )?;
+        for (name, addr) in tempo::program::io::layout_map(&program, &layout) {
+            writeln!(w, "{name} 0x{addr:x}")?;
+        }
+        println!("wrote {path}: symbol map in address order");
+    }
+    Ok(())
+}
+
+/// `simulate`: miss-simulate a layout against a trace.
+pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    let layout = load_layout(args, &program)?;
+    let trace = load_trace(args, "trace", &program)?;
+    let cache = args.cache()?;
+    let want_classify = args.switch("classify");
+    args.finish()?;
+
+    let stats = tempo::cache::simulate(&program, &layout, &trace, cache);
+    println!(
+        "{} records, {} line accesses, {} instructions",
+        stats.records, stats.accesses, stats.instructions
+    );
+    println!(
+        "{} misses: {:.3}% per instruction, {:.2}% per line access",
+        stats.misses,
+        stats.miss_rate() * 100.0,
+        stats.line_miss_rate() * 100.0
+    );
+    if want_classify {
+        let b = classify(&program, &layout, &trace, cache);
+        println!(
+            "breakdown: {} cold, {} capacity, {} conflict ({:.1}% conflict)",
+            b.cold,
+            b.capacity,
+            b.conflict,
+            b.conflict_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `analyze`: reuse-distance and working-set statistics for a trace.
+pub fn analyze(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    let trace = load_trace(args, "trace", &program)?;
+    let cache = args.cache()?;
+    let window: usize = args.get_or("window", 2_000)?;
+    args.finish()?;
+
+    let c = u64::from(cache.size());
+    let s = reuse_distances(&program, &trace, &[c, 2 * c, 4 * c]);
+    println!(
+        "{} re-references; reuse distance (bytes of distinct code between):",
+        s.count
+    );
+    println!("  min {} / median {} / max {}", s.min, s.median, s.max);
+    for (i, label) in ["1x cache", "2x cache", "4x cache"].iter().enumerate() {
+        println!(
+            "  within {label}: {:.1}%",
+            100.0 * s.at_or_below[i] as f64 / s.count.max(1) as f64
+        );
+    }
+    let mut ws = working_set_sizes(&program, &trace, window);
+    if !ws.is_empty() {
+        ws.sort_unstable();
+        println!(
+            "working sets over {}-record windows: min {}K / median {}K / max {}K",
+            window,
+            ws[0] / 1024,
+            ws[ws.len() / 2] / 1024,
+            ws[ws.len() - 1] / 1024
+        );
+    }
+    Ok(())
+}
+
+/// `compare`: run every algorithm and print the comparison table.
+pub fn compare(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    let train = load_trace(args, "train", &program)?;
+    let test = load_trace(args, "test", &program)?;
+    let cache = args.cache()?;
+    args.finish()?;
+
+    let session = Session::new(&program, cache).profile(&train);
+    let algorithms: Vec<Box<dyn PlacementAlgorithm>> = vec![
+        Box::new(SourceOrder::new()),
+        Box::new(RandomOrder::new(42)),
+        Box::new(PettisHansen::new()),
+        Box::new(CacheColoring::new()),
+        Box::new(Gbsc::new()),
+    ];
+    let refs: Vec<&dyn PlacementAlgorithm> = algorithms.iter().map(|b| b.as_ref()).collect();
+    let cmp = tempo::compare(&session, &refs, &test);
+    print!("{cmp}");
+    if let Some(best) = cmp.best() {
+        println!(
+            "best: {} at {:.3}% per instruction",
+            best.name,
+            best.stats.miss_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_resolve() {
+        for name in [
+            "default",
+            "random",
+            "random:7",
+            "ph",
+            "hkc",
+            "gbsc",
+            "gbsc-sa",
+            "trg-chains",
+            "wcg-offsets",
+        ] {
+            assert!(algorithm_by_name(name).is_ok(), "{name}");
+        }
+        assert!(algorithm_by_name("bolt").is_err());
+        assert!(algorithm_by_name("random:banana").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! The CLI error type: one wrapper over every pipeline failure.
+
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong while executing a CLI command.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad command line; the message includes usage guidance.
+    Usage(String),
+    /// Filesystem or stream failure.
+    Io(std::io::Error),
+    /// A named input file failed to parse, with context.
+    Parse {
+        /// What was being read.
+        what: &'static str,
+        /// The underlying message.
+        message: String,
+    },
+    /// Inputs are mutually inconsistent (e.g. trace references procedures
+    /// the program does not define).
+    Inconsistent(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse { what, message } => write!(f, "failed to read {what}: {message}"),
+            CliError::Inconsistent(msg) => write!(f, "inconsistent inputs: {msg}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CliError::Usage("x".into()).to_string().contains("usage"));
+        assert!(CliError::Parse {
+            what: "layout",
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("layout"));
+        assert!(CliError::Inconsistent("y".into()).to_string().contains('y'));
+    }
+}

@@ -1,0 +1,84 @@
+//! Command-line driver for the **tempo** toolkit.
+//!
+//! The binary (`tempo-cli`) exposes the full pipeline as composable
+//! subcommands operating on files, so a layout study can be scripted
+//! without writing Rust:
+//!
+//! ```text
+//! tempo-cli generate --bench perl --records 200000 --input train \
+//!                    --program perl.procs --trace train.trace
+//! tempo-cli generate --bench perl --records 200000 --input test --trace test.trace
+//! tempo-cli profile  --program perl.procs --trace train.trace --out perl.profile
+//! tempo-cli place    --program perl.procs --profile perl.profile \
+//!                    --algorithm gbsc --out perl.layout
+//! tempo-cli simulate --program perl.procs --layout perl.layout \
+//!                    --trace test.trace --classify
+//! tempo-cli analyze  --program perl.procs --trace train.trace
+//! tempo-cli compare  --program perl.procs --train train.trace --test test.trace
+//! ```
+//!
+//! Every command is a function in [`commands`]; [`run`] dispatches on the
+//! first argument. All state flows through the documented file formats
+//! (`tempo-program`, `tempo-trace` binary, `tempo-profile`,
+//! `tempo-layout`), so external tools can produce or consume any stage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+mod error;
+
+pub use error::CliError;
+
+/// Dispatches a full argument vector (excluding the executable name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad usage or any pipeline failure;
+/// the binary prints it and exits nonzero.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    let parsed = args::ArgMap::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => commands::generate(&parsed),
+        "profile" => commands::profile(&parsed),
+        "place" => commands::place(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "analyze" => commands::analyze(&parsed),
+        "compare" => commands::compare(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tempo-cli — temporal-ordering procedure placement (Gloy et al., MICRO-30 1997)
+
+commands:
+  generate  --bench NAME --records N [--input train|test] [--seed N]
+            [--program FILE] [--trace FILE]
+      synthesize a Table-1 benchmark program and/or trace
+  profile   --program FILE --trace FILE [--cache SIZExLINExASSOC]
+            [--coverage F] [--pair-db] --out FILE
+      build WCG + TRGs from a trace
+  place     --program FILE --profile FILE --algorithm NAME --out FILE
+            [--map FILE]
+      run a placement algorithm (default|random[:SEED]|ph|hkc|gbsc|gbsc-sa|
+      trg-chains|wcg-offsets); --map emits a name/address symbol map
+  simulate  --program FILE --layout FILE --trace FILE
+            [--cache SIZExLINExASSOC] [--classify]
+      trace-driven miss simulation (optionally cold/capacity/conflict)
+  analyze   --program FILE --trace FILE [--window N]
+      reuse-distance and working-set statistics
+  compare   --program FILE --train FILE --test FILE
+            [--cache SIZExLINExASSOC]
+      profile on train, place with every algorithm, evaluate on test";

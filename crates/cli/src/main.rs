@@ -1,0 +1,14 @@
+//! `tempo-cli` entry point: parse, dispatch, report.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match tempo_cli::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tempo-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

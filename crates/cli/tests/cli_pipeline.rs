@@ -1,0 +1,219 @@
+//! Integration tests driving the whole CLI pipeline through
+//! `tempo_cli::run`, exactly as a shell user would.
+
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tempo-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(args: &[String]) -> Result<(), tempo_cli::CliError> {
+    tempo_cli::run(args)
+}
+
+fn cmd(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn full_pipeline_generate_profile_place_simulate() {
+    let dir = workdir("full");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "m88ksim",
+        "--records",
+        "20000",
+        "--input",
+        "train",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+    ]))
+    .expect("generate train");
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "m88ksim",
+        "--records",
+        "20000",
+        "--input",
+        "test",
+        "--trace",
+        &p("test"),
+    ]))
+    .expect("generate test");
+    run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+        "--out",
+        &p("profile"),
+    ]))
+    .expect("profile");
+    for alg in ["gbsc", "ph", "hkc", "default", "trg-chains", "wcg-offsets"] {
+        run(&cmd(&[
+            "place",
+            "--program",
+            &p("prog"),
+            "--profile",
+            &p("profile"),
+            "--algorithm",
+            alg,
+            "--out",
+            &p(&format!("{alg}.layout")),
+        ]))
+        .unwrap_or_else(|e| panic!("place {alg}: {e}"));
+    }
+    run(&cmd(&[
+        "simulate",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("gbsc.layout"),
+        "--trace",
+        &p("test"),
+        "--classify",
+    ]))
+    .expect("simulate");
+    run(&cmd(&[
+        "analyze",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+    ]))
+    .expect("analyze");
+    run(&cmd(&[
+        "compare",
+        "--program",
+        &p("prog"),
+        "--train",
+        &p("train"),
+        "--test",
+        &p("test"),
+    ]))
+    .expect("compare");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pair_db_profile_supports_sa_placement() {
+    let dir = workdir("sa");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "perl",
+        "--records",
+        "8000",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+    ]))
+    .expect("generate");
+    run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+        "--cache",
+        "8192x32x2",
+        "--pair-db",
+        "--out",
+        &p("profile"),
+    ]))
+    .expect("profile with pair db");
+    run(&cmd(&[
+        "place",
+        "--program",
+        &p("prog"),
+        "--profile",
+        &p("profile"),
+        "--algorithm",
+        "gbsc-sa",
+        "--out",
+        &p("sa.layout"),
+    ]))
+    .expect("gbsc-sa place");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_are_reported() {
+    assert!(run(&[]).is_err());
+    assert!(run(&cmd(&["frobnicate"])).is_err());
+    assert!(run(&cmd(&["generate"])).is_err(), "missing --bench");
+    assert!(run(&cmd(&["generate", "--bench", "nope", "--trace", "/tmp/x"])).is_err());
+    // Unknown flags are rejected, not ignored.
+    let dir = workdir("flags");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let err = run(&cmd(&[
+        "generate",
+        "--bench",
+        "perl",
+        "--trace",
+        &p("t"),
+        "--recrods",
+        "5",
+    ]))
+    .unwrap_err();
+    assert!(err.to_string().contains("recrods"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_succeeds() {
+    run(&cmd(&["help"])).expect("help");
+}
+
+#[test]
+fn inconsistent_inputs_are_detected() {
+    let dir = workdir("inconsistent");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    // Program from perl, trace from go: go's trace references ids beyond
+    // perl's 271 procedures.
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "perl",
+        "--records",
+        "2000",
+        "--program",
+        &p("perl.procs"),
+        "--trace",
+        &p("perl.trace"),
+    ]))
+    .expect("generate perl");
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "go",
+        "--records",
+        "2000",
+        "--trace",
+        &p("go.trace"),
+    ]))
+    .expect("generate go");
+    let err = run(&cmd(&[
+        "analyze",
+        "--program",
+        &p("perl.procs"),
+        "--trace",
+        &p("go.trace"),
+    ]))
+    .unwrap_err();
+    assert!(err.to_string().contains("inconsistent"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

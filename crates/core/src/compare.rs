@@ -1,0 +1,145 @@
+//! Side-by-side comparison of placement algorithms.
+
+use std::fmt;
+
+use tempo_cache::SimStats;
+use tempo_place::PlacementAlgorithm;
+use tempo_trace::Trace;
+
+use crate::ProfiledSession;
+
+/// One algorithm's result in a [`Comparison`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Algorithm name.
+    pub name: String,
+    /// Simulation result on the evaluation trace.
+    pub stats: SimStats,
+    /// Total layout span in bytes (code + padding).
+    pub span: u64,
+}
+
+/// Results of running several placement algorithms on one profiled session
+/// and evaluating them against one trace.
+///
+/// `Display` renders an aligned text table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// The rows, in the order the algorithms were given.
+    pub fn rows(&self) -> &[ComparisonRow] {
+        &self.rows
+    }
+
+    /// The row with the lowest miss rate (`None` when empty).
+    pub fn best(&self) -> Option<&ComparisonRow> {
+        self.rows.iter().min_by(|a, b| {
+            a.stats
+                .miss_rate()
+                .partial_cmp(&b.stats.miss_rate())
+                .expect("miss rates are finite")
+        })
+    }
+
+    /// Looks up a row by algorithm name.
+    pub fn get(&self, name: &str) -> Option<&ComparisonRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12} {:>9} {:>12}",
+            "algorithm", "accesses", "misses", "miss%", "span"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>12} {:>12} {:>8.2}% {:>12}",
+                r.name,
+                r.stats.accesses,
+                r.stats.misses,
+                r.stats.miss_rate() * 100.0,
+                r.span
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs each algorithm on `session` and evaluates the layouts against
+/// `eval_trace` (typically the *testing* trace).
+pub fn compare(
+    session: &ProfiledSession<'_>,
+    algorithms: &[&dyn PlacementAlgorithm],
+    eval_trace: &Trace,
+) -> Comparison {
+    let rows = algorithms
+        .iter()
+        .map(|alg| {
+            let layout = session.place(*alg);
+            let stats = session.evaluate(&layout, eval_trace);
+            ComparisonRow {
+                name: alg.name().to_string(),
+                stats,
+                span: layout.span(session.program()),
+            }
+        })
+        .collect();
+    Comparison { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use tempo_cache::CacheConfig;
+    use tempo_place::{Gbsc, PettisHansen, SourceOrder};
+    use tempo_program::{ProcId, Program};
+    use tempo_trg::PopularitySelector;
+
+    #[test]
+    fn compare_runs_all_algorithms() {
+        let program = Program::builder()
+            .procedure("a", 4096)
+            .procedure("pad", 4096)
+            .procedure("b", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = program.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..50 {
+            refs.extend([ids[0], ids[2]]);
+        }
+        let trace = Trace::from_full_records(&program, refs);
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let cmp = compare(
+            &session,
+            &[&SourceOrder::new(), &PettisHansen::new(), &Gbsc::new()],
+            &trace,
+        );
+        assert_eq!(cmp.rows().len(), 3);
+        assert_eq!(cmp.rows()[0].name, "default");
+        let best = cmp.best().unwrap();
+        assert_ne!(best.name, "default");
+        assert!(cmp.get("GBSC").is_some());
+        assert!(cmp.get("nope").is_none());
+        let table = cmp.to_string();
+        assert!(table.contains("GBSC"));
+        assert!(table.contains("miss%"));
+    }
+
+    #[test]
+    fn empty_comparison_behaves() {
+        let cmp = Comparison::default();
+        assert!(cmp.best().is_none());
+        assert!(cmp.rows().is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! The profile → place → evaluate pipeline.
+
+use tempo_cache::{simulate, CacheConfig, SimStats};
+use tempo_place::{PlacementAlgorithm, PlacementContext};
+use tempo_program::{Layout, Program};
+use tempo_trace::Trace;
+use tempo_trg::{PopularitySelector, ProfileData, Profiler};
+
+/// Stage 1: a program plus profiling configuration.
+///
+/// Call [`profile`](Session::profile) with a training trace to obtain a
+/// [`ProfiledSession`], which can place and evaluate layouts.
+#[derive(Debug)]
+pub struct Session<'p> {
+    program: &'p Program,
+    cache: CacheConfig,
+    selector: PopularitySelector,
+    pair_db: bool,
+}
+
+impl<'p> Session<'p> {
+    /// Starts a session for `program` targeting `cache`.
+    pub fn new(program: &'p Program, cache: CacheConfig) -> Self {
+        Session {
+            program,
+            cache,
+            selector: PopularitySelector::default_policy(),
+            pair_db: false,
+        }
+    }
+
+    /// Sets the popularity policy used during profiling.
+    pub fn popularity(mut self, selector: PopularitySelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Enables the §6 pair database (needed by
+    /// [`GbscSetAssoc`](tempo_place::GbscSetAssoc)).
+    pub fn with_pair_db(mut self, enabled: bool) -> Self {
+        self.pair_db = enabled;
+        self
+    }
+
+    /// Profiles a training trace.
+    pub fn profile(self, trace: &Trace) -> ProfiledSession<'p> {
+        let profile = Profiler::new(self.program, self.cache)
+            .popularity(self.selector)
+            .with_pair_db(self.pair_db)
+            .profile(trace);
+        ProfiledSession {
+            program: self.program,
+            profile,
+        }
+    }
+}
+
+/// Stage 2: a program plus its training profile.
+///
+/// From here, [`place`](ProfiledSession::place) runs any placement
+/// algorithm and [`evaluate`](ProfiledSession::evaluate) simulates a layout
+/// against any (typically *testing*) trace.
+#[derive(Debug, Clone)]
+pub struct ProfiledSession<'p> {
+    program: &'p Program,
+    profile: ProfileData,
+}
+
+impl<'p> ProfiledSession<'p> {
+    /// Wraps an existing profile (e.g. a perturbed copy) for placement.
+    pub fn from_profile(program: &'p Program, profile: ProfileData) -> Self {
+        ProfiledSession { program, profile }
+    }
+
+    /// The program under layout.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The training profile.
+    pub fn profile(&self) -> &ProfileData {
+        &self.profile
+    }
+
+    /// The cache geometry this session targets.
+    pub fn cache(&self) -> CacheConfig {
+        self.profile.cache
+    }
+
+    /// The placement context handed to algorithms.
+    pub fn context(&self) -> PlacementContext<'_> {
+        PlacementContext::new(self.program, &self.profile)
+    }
+
+    /// Runs a placement algorithm.
+    pub fn place<A: PlacementAlgorithm + ?Sized>(&self, algorithm: &A) -> Layout {
+        algorithm.place(&self.context())
+    }
+
+    /// Simulates a layout against a trace on this session's cache.
+    pub fn evaluate(&self, layout: &Layout, trace: &Trace) -> SimStats {
+        simulate(self.program, layout, trace, self.profile.cache)
+    }
+
+    /// Returns a copy of this session with the profile's graphs perturbed
+    /// by the paper's §5.1 multiplicative noise.
+    pub fn perturbed<R: rand::Rng + ?Sized>(&self, s: f64, rng: &mut R) -> ProfiledSession<'p> {
+        ProfiledSession {
+            program: self.program,
+            profile: self.profile.perturbed(s, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_place::{Gbsc, SourceOrder};
+    use tempo_program::ProcId;
+
+    fn setup() -> (Program, Trace) {
+        let program = Program::builder()
+            .procedure("a", 4096)
+            .procedure("pad", 4096)
+            .procedure("b", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = program.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..60 {
+            refs.extend([ids[0], ids[2]]);
+        }
+        let trace = Trace::from_full_records(&program, refs);
+        (program, trace)
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let (program, trace) = setup();
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let def = session.place(&SourceOrder::new());
+        let gbsc = session.place(&Gbsc::new());
+        let sd = session.evaluate(&def, &trace);
+        let sg = session.evaluate(&gbsc, &trace);
+        assert!(sg.misses < sd.misses);
+        assert_eq!(session.cache(), CacheConfig::direct_mapped_8k());
+        assert_eq!(session.program().len(), 3);
+    }
+
+    #[test]
+    fn perturbed_session_still_places() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (program, trace) = setup();
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let mut rng = StdRng::seed_from_u64(5);
+        let perturbed = session.perturbed(0.1, &mut rng);
+        let layout = perturbed.place(&Gbsc::new());
+        layout.validate(&program).unwrap();
+        assert_ne!(
+            perturbed.profile().trg_select.weight(0, 2),
+            session.profile().trg_select.weight(0, 2)
+        );
+    }
+
+    #[test]
+    fn pair_db_flag_propagates() {
+        let (program, trace) = setup();
+        let session = Session::new(&program, CacheConfig::two_way_8k())
+            .popularity(PopularitySelector::all())
+            .with_pair_db(true)
+            .profile(&trace);
+        assert!(session.profile().pair_db.is_some());
+    }
+
+    #[test]
+    fn from_profile_roundtrip() {
+        let (program, trace) = setup();
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k()).profile(&trace);
+        let again = ProfiledSession::from_profile(&program, session.profile().clone());
+        assert_eq!(
+            again.profile().wcg.edge_count(),
+            session.profile().wcg.edge_count()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Ablation variants of GBSC, isolating the paper's two ingredients.
+//!
+//! §4 of the paper: "We have found however that extra temporal ordering
+//! information alone is not sufficient to guarantee lower instruction
+//! cache miss rates." The ingredients are separable:
+//!
+//! 1. **What drives selection** — WCG (PH) vs. `TRG_select` (GBSC).
+//! 2. **How nodes combine** — byte-adjacent chains (PH) vs. the
+//!    cache-relative offset scan over `TRG_place` (GBSC).
+//!
+//! [`TrgChains`] takes ingredient 1 without ingredient 2 (temporal
+//! selection, chain placement): the configuration the paper warns about.
+//! [`WcgOffsets`] takes ingredient 2 without ingredient 1 (call-graph
+//! selection, offset-scan placement). Comparing `PH`, `TrgChains`,
+//! `WcgOffsets`, and `Gbsc` quantifies each ingredient's contribution —
+//! the `ablation_chains` binary in `tempo-bench` runs exactly that.
+
+use tempo_program::{Layout, ProcId};
+use tempo_trg::{ProfileData, WeightedGraph};
+
+use crate::{PlacementAlgorithm, PlacementContext};
+
+/// GBSC's selection (greedy `TRG_select` merging) with PH's placement
+/// (chains combined to minimize the distance between the heaviest edge's
+/// endpoints). The "temporal information alone" ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrgChains;
+
+impl TrgChains {
+    /// Creates the ablation algorithm.
+    pub fn new() -> Self {
+        TrgChains
+    }
+}
+
+impl PlacementAlgorithm for TrgChains {
+    fn name(&self) -> &str {
+        "TRG+chains"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
+        // Chain-merge over TRG_select (popular procedures only), then
+        // append every other procedure in id order.
+        let order = chain_merge_order(ctx, &ctx.profile.trg_select);
+        Layout::from_order(ctx.program, &order).expect("order is a permutation")
+    }
+}
+
+/// PH's selection (greedy WCG merging, popular procedures only) with
+/// GBSC's placement machinery (offset scan costed by `TRG_place`).
+/// The "cache awareness alone" ablation — equivalent to running
+/// [`Gbsc`](crate::Gbsc) with the WCG substituted for `TRG_select`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WcgOffsets;
+
+impl WcgOffsets {
+    /// Creates the ablation algorithm.
+    pub fn new() -> Self {
+        WcgOffsets
+    }
+}
+
+impl PlacementAlgorithm for WcgOffsets {
+    fn name(&self) -> &str {
+        "WCG+offsets"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
+        // Build a popular-only WCG and hand it to GBSC's engine by
+        // substituting it into a cloned profile.
+        let mut wcg_popular = WeightedGraph::new();
+        for e in ctx.profile.wcg.edges() {
+            let (a, b) = (ProcId::new(e.a), ProcId::new(e.b));
+            if ctx.profile.popular.is_popular(a) && ctx.profile.popular.is_popular(b) {
+                wcg_popular.add_weight(e.a, e.b, e.w);
+            }
+        }
+        let mut profile: ProfileData = ctx.profile.clone();
+        profile.trg_select = wcg_popular;
+        let sub = PlacementContext::new(ctx.program, &profile);
+        crate::Gbsc::new().place(&sub)
+    }
+}
+
+/// Greedy chain merge over an arbitrary selection graph, PH-style.
+/// Returns a full procedure order (graph nodes first, grouped by chain
+/// weight; procedures absent from the graph appended in id order).
+fn chain_merge_order(ctx: &PlacementContext<'_>, selection: &WeightedGraph) -> Vec<ProcId> {
+    use std::collections::HashMap;
+
+    let program = ctx.program;
+    let mut working = selection.clone();
+    let mut node_of: Vec<u32> = (0..program.len() as u32).collect();
+    let mut chains: HashMap<u32, Vec<ProcId>> =
+        program.ids().map(|id| (id.index(), vec![id])).collect();
+
+    while let Some(e) = working.heaviest_edge() {
+        let (u, v) = (e.a, e.b);
+        let a = chains.remove(&u).expect("u live");
+        let b = chains.remove(&v).expect("v live");
+        // Heaviest original cross edge decides the combination.
+        let mut heavy: Option<(f64, ProcId, ProcId)> = None;
+        for &p in &a {
+            for q in selection.neighbors(p.index()) {
+                if node_of[q as usize] != v {
+                    continue;
+                }
+                let w = selection.weight(p.index(), q);
+                if heavy.as_ref().is_none_or(|(hw, _, _)| w > *hw) {
+                    heavy = Some((w, p, ProcId::new(q)));
+                }
+            }
+        }
+        let (_, hp, hq) = heavy.expect("cross edge exists");
+        let combined = crate::ph::best_combination(program, &a, &b, hp, hq);
+        for &pid in &b {
+            node_of[pid.as_usize()] = u;
+        }
+        chains.insert(u, combined);
+        working.merge_nodes(u, v);
+    }
+
+    let mut remaining: Vec<(u32, Vec<ProcId>)> = chains.into_iter().collect();
+    remaining.sort_by_key(|(rep, chain)| {
+        let count: u64 = chain
+            .iter()
+            .map(|id| ctx.profile.popular.count_of(*id))
+            .sum();
+        (std::cmp::Reverse(count), *rep)
+    });
+    remaining.into_iter().flat_map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_cache::{simulate, CacheConfig};
+    use tempo_program::Program;
+    use tempo_trace::Trace;
+    use tempo_trg::{PopularitySelector, Profiler};
+
+    fn phased_setup() -> (Program, Trace, CacheConfig) {
+        // M + four siblings in two phases; cache fits M + two siblings.
+        let program = Program::builder()
+            .procedure("M", 1024)
+            .procedure("s1", 2048)
+            .procedure("s2", 2048)
+            .procedure("s3", 2048)
+            .procedure("s4", 2048)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = program.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..50 {
+            refs.extend([ids[0], ids[1], ids[0], ids[2]]);
+        }
+        for _ in 0..50 {
+            refs.extend([ids[0], ids[3], ids[0], ids[4]]);
+        }
+        let trace = Trace::from_full_records(&program, refs);
+        (program, trace, CacheConfig::direct_mapped(4096).unwrap())
+    }
+
+    fn profile(program: &Program, trace: &Trace, cache: CacheConfig) -> tempo_trg::ProfileData {
+        Profiler::new(program, cache)
+            .popularity(PopularitySelector::all())
+            .profile(trace)
+    }
+
+    #[test]
+    fn ablations_produce_valid_layouts() {
+        let (program, trace, cache) = phased_setup();
+        let prof = profile(&program, &trace, cache);
+        let ctx = PlacementContext::new(&program, &prof);
+        for alg in [
+            &TrgChains::new() as &dyn PlacementAlgorithm,
+            &WcgOffsets::new(),
+        ] {
+            let layout = alg.place(&ctx);
+            layout
+                .validate(&program)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        }
+    }
+
+    #[test]
+    fn full_gbsc_at_least_matches_both_ablations() {
+        let (program, trace, cache) = phased_setup();
+        let prof = profile(&program, &trace, cache);
+        let ctx = PlacementContext::new(&program, &prof);
+        let gbsc = simulate(&program, &crate::Gbsc::new().place(&ctx), &trace, cache);
+        let chains = simulate(&program, &TrgChains::new().place(&ctx), &trace, cache);
+        let wcg = simulate(&program, &WcgOffsets::new().place(&ctx), &trace, cache);
+        assert!(
+            gbsc.misses <= chains.misses,
+            "gbsc {} vs trg+chains {}",
+            gbsc.misses,
+            chains.misses
+        );
+        assert!(
+            gbsc.misses <= wcg.misses,
+            "gbsc {} vs wcg+offsets {}",
+            gbsc.misses,
+            wcg.misses
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(TrgChains::new().name(), WcgOffsets::new().name());
+    }
+}

@@ -1,0 +1,100 @@
+//! The placement-algorithm interface.
+
+use tempo_cache::CacheConfig;
+use tempo_program::{Layout, Program};
+use tempo_trg::ProfileData;
+
+/// Everything a placement algorithm may consult: the program's static shape
+/// and the training profile (which carries the target cache geometry).
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementContext<'a> {
+    /// The program being laid out.
+    pub program: &'a Program,
+    /// The training profile (WCG, TRGs, popularity, cache geometry).
+    pub profile: &'a ProfileData,
+}
+
+impl<'a> PlacementContext<'a> {
+    /// Bundles a program with its profile.
+    pub fn new(program: &'a Program, profile: &'a ProfileData) -> Self {
+        PlacementContext { program, profile }
+    }
+
+    /// The cache geometry the profile was gathered for.
+    pub fn cache(&self) -> CacheConfig {
+        self.profile.cache
+    }
+}
+
+/// A procedure-placement algorithm: consumes a program + profile, produces
+/// a [`Layout`].
+///
+/// Implementations must be deterministic given the context (any randomness
+/// must be seeded at construction), so that experiments are reproducible.
+pub trait PlacementAlgorithm {
+    /// Short identifier used in reports ("PH", "HKC", "GBSC", ...).
+    fn name(&self) -> &str;
+
+    /// Produces a layout covering every procedure of `ctx.program`.
+    fn place(&self, ctx: &PlacementContext<'_>) -> Layout;
+}
+
+impl<T: PlacementAlgorithm + ?Sized> PlacementAlgorithm for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
+        (**self).place(ctx)
+    }
+}
+
+impl<T: PlacementAlgorithm + ?Sized> PlacementAlgorithm for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
+        (**self).place(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_cache::CacheConfig;
+    use tempo_trace::Trace;
+    use tempo_trg::Profiler;
+
+    #[test]
+    fn context_exposes_cache() {
+        let program = Program::builder().procedure("a", 10).build().unwrap();
+        let trace = Trace::new();
+        let profile = Profiler::new(&program, CacheConfig::direct_mapped_8k()).profile(&trace);
+        let ctx = PlacementContext::new(&program, &profile);
+        assert_eq!(ctx.cache(), CacheConfig::direct_mapped_8k());
+    }
+
+    #[test]
+    fn trait_objects_and_refs_work() {
+        struct Dummy;
+        impl PlacementAlgorithm for Dummy {
+            fn name(&self) -> &str {
+                "dummy"
+            }
+            fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
+                Layout::source_order(ctx.program)
+            }
+        }
+        let program = Program::builder().procedure("a", 10).build().unwrap();
+        let profile =
+            Profiler::new(&program, CacheConfig::direct_mapped_8k()).profile(&Trace::new());
+        let ctx = PlacementContext::new(&program, &profile);
+
+        let boxed: Box<dyn PlacementAlgorithm> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+        assert_eq!(boxed.place(&ctx).len(), 1);
+        let by_ref = &Dummy;
+        assert_eq!(by_ref.name(), "dummy");
+    }
+}

@@ -1,0 +1,80 @@
+//! Procedure-placement algorithms for the **tempo** toolkit.
+//!
+//! This crate implements the three algorithms compared in the paper's
+//! evaluation (§5), plus baselines and the conflict metrics used in its
+//! Figure 6 correlation study:
+//!
+//! * [`SourceOrder`] — the compiler-default layout (procedures in id
+//!   order), the baseline every miss-rate table is measured against.
+//! * [`RandomOrder`] — a seeded random permutation, useful as a sanity
+//!   bound.
+//! * [`PettisHansen`] (PH) — the classic greedy chain-merging algorithm
+//!   driven by call-graph edge weights (§2).
+//! * [`CacheColoring`] (HKC) — a Hashemi–Kaeli–Calder-style placement that
+//!   extends PH with procedure sizes and cache geometry: it tracks the
+//!   cache lines each placed procedure occupies and picks alignments that
+//!   avoid overlap with call-graph neighbours, but uses no temporal
+//!   information.
+//! * [`Gbsc`] — the paper's contribution: greedy merging over the
+//!   procedure-grain `TRG_select`, with cache-relative alignments chosen by
+//!   scanning every offset against the chunk-grain `TRG_place`
+//!   (the `merge_nodes` routine of Figure 4), followed by the smallest-
+//!   positive-gap linearization of §4.3.
+//! * [`GbscSetAssoc`] — the §6 extension for set-associative caches,
+//!   costing alignments with the pair database `D(p, {r, s})`.
+//! * [`metric`] — placement-wide conflict metrics (TRG- and WCG-based) for
+//!   the Figure 6 correlation experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_program::Program;
+//! use tempo_trace::Trace;
+//! use tempo_cache::{CacheConfig, simulate};
+//! use tempo_trg::{Profiler, PopularitySelector};
+//! use tempo_place::{Gbsc, PlacementAlgorithm, PlacementContext};
+//!
+//! let program = Program::builder()
+//!     .procedure("m", 4096)
+//!     .procedure("x", 4096)
+//!     .procedure("pad", 4096)
+//!     .procedure("y", 4096)
+//!     .build()?;
+//! let ids: Vec<_> = program.ids().collect();
+//! // m and y alternate heavily; under source order they conflict in 8 KB.
+//! let mut refs = Vec::new();
+//! for _ in 0..50 { refs.extend([ids[0], ids[3]]); }
+//! let trace = Trace::from_full_records(&program, refs);
+//!
+//! let profile = Profiler::new(&program, CacheConfig::direct_mapped_8k())
+//!     .popularity(PopularitySelector::all())
+//!     .profile(&trace);
+//! let ctx = PlacementContext::new(&program, &profile);
+//! let layout = Gbsc::new().place(&ctx);
+//!
+//! let stats = simulate(&program, &layout, &trace, CacheConfig::direct_mapped_8k());
+//! assert!(stats.miss_rate() < 0.05, "GBSC must separate m and y");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablate;
+mod baseline;
+mod context;
+pub mod exhaustive;
+mod gbsc;
+mod hkc;
+mod linearize;
+pub mod metric;
+mod ph;
+pub mod splitting;
+
+pub use ablate::{TrgChains, WcgOffsets};
+pub use baseline::{RandomOrder, SourceOrder};
+pub use context::{PlacementAlgorithm, PlacementContext};
+pub use gbsc::{Gbsc, GbscSetAssoc, PlacementTuples};
+pub use hkc::CacheColoring;
+pub use linearize::linearize;
+pub use ph::PettisHansen;

@@ -1,0 +1,264 @@
+//! §4.3: producing the final linear list from cache-relative alignments.
+//!
+//! The merging phase of GBSC (and our HKC implementation) decides, for each
+//! popular procedure, the cache line at which it should begin. This module
+//! realizes those alignments in the linear address space: starting from a
+//! procedure with the smallest offset, it repeatedly appends the unplaced
+//! popular procedure whose alignment produces the **smallest positive gap**
+//! (in cache lines) after the current end, fills gaps with unpopular
+//! procedures, and appends the remaining unpopular procedures at the end.
+
+use tempo_cache::CacheConfig;
+use tempo_program::{Layout, LayoutBuilder, ProcId, Program};
+
+/// Builds a layout realizing the given cache-relative alignments.
+///
+/// * `aligned` — `(procedure, cache-line offset)` pairs for the popular
+///   procedures; every listed procedure starts at an address congruent to
+///   `offset * line_size` modulo the cache size.
+/// * `rest` — the remaining (unpopular) procedures; they are used to fill
+///   alignment gaps (largest-fit-first) and any left over are appended at
+///   the end in the order given.
+///
+/// Together `aligned` and `rest` must cover every procedure exactly once.
+///
+/// # Panics
+///
+/// Panics if a procedure appears twice or the two lists do not cover the
+/// program (the resulting layout would be invalid).
+pub fn linearize(
+    program: &Program,
+    cache: CacheConfig,
+    aligned: &[(ProcId, u32)],
+    rest: &[ProcId],
+) -> Layout {
+    let line = u64::from(cache.line_size());
+    let lines = u64::from(cache.lines());
+    let mut builder = LayoutBuilder::new(program);
+
+    // Unpopular procedures available for gap filling, largest first
+    // (stable by id for determinism).
+    let mut fillers: Vec<ProcId> = rest.to_vec();
+    fillers.sort_by_key(|id| (std::cmp::Reverse(program.size_of(*id)), id.index()));
+
+    // Popular procedures not yet placed, with their target line offsets.
+    let mut pending: Vec<(ProcId, u32)> = aligned.to_vec();
+    // Deterministic starting choice: smallest offset, tie by id (the paper:
+    // "select a procedure p with a cache-line offset of 0 (any starting
+    // offset will do)").
+    pending.sort_by_key(|&(id, off)| (off, id.index()));
+
+    let mut cursor: u64 = 0; // next free byte, line-aligned between placements
+    if let Some(&(first, off)) = pending.first() {
+        // Start the layout so that `first` lands on its target line with no
+        // leading gap: address = offset * line_size.
+        cursor = u64::from(off) * line;
+        builder.place_at(first, cursor);
+        cursor += u64::from(program.size_of(first));
+        pending.remove(0);
+    }
+
+    while !pending.is_empty() {
+        // Current free line (aligned up).
+        let aligned_cursor = cursor.div_ceil(line) * line;
+        let cur_line = (aligned_cursor / line) % lines;
+        // Smallest non-negative gap; ties by procedure id for determinism.
+        let mut best: Option<(u64, u32, usize)> = None; // (gap, id, index)
+        for (i, &(id, off)) in pending.iter().enumerate() {
+            let gap = (u64::from(off) + lines - cur_line) % lines;
+            let key = (gap, id.index());
+            if best.is_none_or(|(g, pid, _)| key < (g, pid)) {
+                best = Some((gap, id.index(), i));
+            }
+        }
+        let (gap, _, idx) = best.expect("pending is non-empty");
+        let (id, _) = pending.remove(idx);
+        let target = aligned_cursor + gap * line;
+
+        // Fill [cursor, target) with unpopular procedures, largest first.
+        let mut fill_cursor = cursor;
+        loop {
+            let space = target.saturating_sub(fill_cursor);
+            if space == 0 || fillers.is_empty() {
+                break;
+            }
+            // Largest filler that fits (fillers are sorted descending).
+            match fillers
+                .iter()
+                .position(|f| u64::from(program.size_of(*f)) <= space)
+            {
+                Some(fi) => {
+                    let f = fillers.remove(fi);
+                    builder.place_at(f, fill_cursor);
+                    fill_cursor += u64::from(program.size_of(f));
+                }
+                None => break,
+            }
+        }
+
+        builder.place_at(id, target);
+        cursor = target + u64::from(program.size_of(id));
+    }
+
+    // Append remaining unpopular procedures, restoring id order for a
+    // stable, readable tail.
+    fillers.sort_by_key(|id| id.index());
+    for f in fillers {
+        builder.append(f);
+    }
+
+    builder
+        .build()
+        .expect("aligned+rest cover the program exactly once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(sizes: &[u32]) -> Program {
+        let mut b = Program::builder();
+        for (i, &s) in sizes.iter().enumerate() {
+            b.procedure(format!("p{i}"), s);
+        }
+        b.build().unwrap()
+    }
+
+    fn line_of(layout: &Layout, id: ProcId, cache: CacheConfig) -> u32 {
+        cache.cache_line_of_addr(layout.addr(id))
+    }
+
+    #[test]
+    fn respects_alignments() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = program(&[64, 64, 64]);
+        let aligned = [
+            (ProcId::new(0), 0u32),
+            (ProcId::new(1), 10),
+            (ProcId::new(2), 100),
+        ];
+        let l = linearize(&p, cache, &aligned, &[]);
+        l.validate(&p).unwrap();
+        assert_eq!(line_of(&l, ProcId::new(0), cache), 0);
+        assert_eq!(line_of(&l, ProcId::new(1), cache), 10);
+        assert_eq!(line_of(&l, ProcId::new(2), cache), 100);
+    }
+
+    #[test]
+    fn contiguous_offsets_pack_without_gaps() {
+        let cache = CacheConfig::direct_mapped_8k();
+        // p0: 64 bytes = 2 lines; give p1 offset 2 -> contiguous.
+        let p = program(&[64, 64]);
+        let l = linearize(&p, cache, &[(ProcId::new(0), 0), (ProcId::new(1), 2)], &[]);
+        assert_eq!(l.addr(ProcId::new(0)), 0);
+        assert_eq!(l.addr(ProcId::new(1)), 64);
+        assert_eq!(l.padding(&p), 0);
+    }
+
+    #[test]
+    fn wrapping_offsets_produce_gaps() {
+        let cache = CacheConfig::direct_mapped_8k();
+        // Both procedures want line 0: the second must wait a full cache turn.
+        let p = program(&[32, 32]);
+        let l = linearize(&p, cache, &[(ProcId::new(0), 0), (ProcId::new(1), 0)], &[]);
+        assert_eq!(l.addr(ProcId::new(0)), 0);
+        assert_eq!(l.addr(ProcId::new(1)), 8192);
+        assert_eq!(line_of(&l, ProcId::new(1), cache), 0);
+    }
+
+    #[test]
+    fn gap_filling_uses_unpopular_procedures() {
+        let cache = CacheConfig::direct_mapped_8k();
+        // p0 at line 0 (64 bytes), p1 at line 100 -> gap of 98 lines
+        // (3136 bytes). p2 (3000 bytes) fits in the gap; p3 (200) after it.
+        let p = program(&[64, 64, 3000, 200]);
+        let l = linearize(
+            &p,
+            cache,
+            &[(ProcId::new(0), 0), (ProcId::new(1), 100)],
+            &[ProcId::new(2), ProcId::new(3)],
+        );
+        l.validate(&p).unwrap();
+        assert_eq!(line_of(&l, ProcId::new(1), cache), 100);
+        // p2 was placed inside the gap.
+        assert!(l.addr(ProcId::new(2)) >= 64 && l.addr(ProcId::new(2)) + 3000 <= 3200);
+        // p3 fits after p2 within the gap too (64+3000=3064, +200 = 3264 > 3200)
+        // so it must be appended at the end instead.
+        assert!(l.addr(ProcId::new(3)) >= l.end_addr(ProcId::new(1), &p));
+    }
+
+    #[test]
+    fn fillers_larger_than_gap_are_appended() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = program(&[64, 64, 8000]);
+        let l = linearize(
+            &p,
+            cache,
+            &[(ProcId::new(0), 0), (ProcId::new(1), 4)],
+            &[ProcId::new(2)],
+        );
+        l.validate(&p).unwrap();
+        // Gap is 2 lines (64 bytes); the 8000-byte filler cannot fit.
+        assert!(l.addr(ProcId::new(2)) >= l.end_addr(ProcId::new(1), &p));
+    }
+
+    #[test]
+    fn no_popular_procedures_packs_rest() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = program(&[100, 200]);
+        let l = linearize(&p, cache, &[], &[ProcId::new(0), ProcId::new(1)]);
+        l.validate(&p).unwrap();
+        assert_eq!(l.addr(ProcId::new(0)), 0);
+        assert_eq!(l.addr(ProcId::new(1)), 100);
+    }
+
+    #[test]
+    fn starting_procedure_has_smallest_offset() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = program(&[32, 32]);
+        // p1 has the smaller offset: it must be laid out first (addr 5*32).
+        let l = linearize(
+            &p,
+            cache,
+            &[(ProcId::new(0), 200), (ProcId::new(1), 5)],
+            &[],
+        );
+        assert_eq!(l.addr(ProcId::new(1)), 5 * 32);
+        assert!(l.addr(ProcId::new(0)) > l.addr(ProcId::new(1)));
+        assert_eq!(line_of(&l, ProcId::new(0), cache), 200);
+    }
+
+    #[test]
+    fn unaligned_sizes_round_up_to_line_boundaries() {
+        let cache = CacheConfig::direct_mapped_8k();
+        // p0 is 33 bytes (ends mid-line); p1 wants line 2.
+        let p = program(&[33, 32]);
+        let l = linearize(&p, cache, &[(ProcId::new(0), 0), (ProcId::new(1), 2)], &[]);
+        assert_eq!(line_of(&l, ProcId::new(1), cache), 2);
+        assert_eq!(l.addr(ProcId::new(1)), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the program")]
+    fn panics_on_incomplete_cover() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = program(&[32, 32]);
+        linearize(&p, cache, &[(ProcId::new(0), 0)], &[]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = program(&[32, 32, 32]);
+        let aligned = [
+            (ProcId::new(0), 0u32),
+            (ProcId::new(1), 1),
+            (ProcId::new(2), 1),
+        ];
+        let a = linearize(&p, cache, &aligned, &[]);
+        let b = linearize(&p, cache, &aligned, &[]);
+        assert_eq!(a, b);
+        // Equal gaps: the smaller id wins the earlier address.
+        assert!(a.addr(ProcId::new(1)) < a.addr(ProcId::new(2)));
+    }
+}

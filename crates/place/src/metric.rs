@@ -1,0 +1,173 @@
+//! Placement-wide conflict metrics (§3 and Figure 6 of the paper).
+//!
+//! A *conflict metric* estimates, for a complete layout, how many cache
+//! conflict misses it will cause. The paper's Figure 6 shows that the
+//! TRG-based metric correlates linearly with simulated misses while a
+//! WCG-based metric does not; [`trg_conflict_cost`] and
+//! [`wcg_conflict_cost`] reproduce both sides of that figure.
+
+use tempo_cache::CacheConfig;
+use tempo_program::{Chunks, Layout, Program};
+use tempo_trg::WeightedGraph;
+
+/// Sum over every cache line of the pairwise `TRG_place` weights of the
+/// chunks co-resident on that line — the paper's conflict metric evaluated
+/// on a whole placement.
+///
+/// A chunk pair overlapping on `m` lines contributes `m × W(a, b)`,
+/// matching the per-line accumulation of `merge_nodes` (Figure 4).
+pub fn trg_conflict_cost(
+    program: &Program,
+    layout: &Layout,
+    trg_place: &WeightedGraph,
+    cache: CacheConfig,
+) -> f64 {
+    let lines = cache.lines() as usize;
+    let mut occupancy: Vec<Vec<u32>> = vec![Vec::new(); lines];
+    for info in Chunks::new(program) {
+        let addr = layout.addr(info.owner) + u64::from(info.offset);
+        let nlines = cache.lines_touched(addr, info.len).min(lines as u64);
+        let first = cache.cache_line_of_addr(addr);
+        for k in 0..nlines as u32 {
+            occupancy[((first + k) % lines as u32) as usize].push(info.id.index());
+        }
+    }
+    pairwise_cost(&occupancy, trg_place)
+}
+
+/// Sum over every cache line of the pairwise **WCG** weights of the
+/// procedures co-resident on that line — the "call-graph only" metric the
+/// bottom half of Figure 6 shows to be a poor predictor.
+pub fn wcg_conflict_cost(
+    program: &Program,
+    layout: &Layout,
+    wcg: &WeightedGraph,
+    cache: CacheConfig,
+) -> f64 {
+    let lines = cache.lines() as usize;
+    let mut occupancy: Vec<Vec<u32>> = vec![Vec::new(); lines];
+    for id in program.ids() {
+        let addr = layout.addr(id);
+        let nlines = cache
+            .lines_touched(addr, program.size_of(id))
+            .min(lines as u64);
+        let first = cache.cache_line_of_addr(addr);
+        for k in 0..nlines as u32 {
+            occupancy[((first + k) % lines as u32) as usize].push(id.index());
+        }
+    }
+    pairwise_cost(&occupancy, wcg)
+}
+
+fn pairwise_cost(occupancy: &[Vec<u32>], graph: &WeightedGraph) -> f64 {
+    let mut cost = 0.0;
+    for line in occupancy {
+        for i in 0..line.len() {
+            for j in (i + 1)..line.len() {
+                cost += graph.weight(line[i], line[j]);
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_cache::simulate;
+    use tempo_program::ProcId;
+    use tempo_trace::Trace;
+    use tempo_trg::{PopularitySelector, Profiler};
+
+    fn setup() -> (Program, Trace, tempo_trg::ProfileData) {
+        let program = Program::builder()
+            .procedure("a", 4096)
+            .procedure("b", 4096)
+            .procedure("c", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = program.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..50 {
+            refs.extend([ids[0], ids[2]]);
+        }
+        let trace = Trace::from_full_records(&program, refs);
+        let profile = Profiler::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        (program, trace, profile)
+    }
+
+    #[test]
+    fn overlapping_hot_pair_costs_more() {
+        let (program, _, profile) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        // Source order: a and c overlap (both in the same 4 KB half mod 8 KB).
+        let bad = Layout::source_order(&program);
+        // a, c adjacent: no overlap.
+        let good = Layout::from_order(&program, &[ProcId::new(0), ProcId::new(2), ProcId::new(1)])
+            .unwrap();
+        let cost_bad = trg_conflict_cost(&program, &bad, &profile.trg_place, cache);
+        let cost_good = trg_conflict_cost(&program, &good, &profile.trg_place, cache);
+        assert!(cost_bad > 0.0);
+        assert_eq!(cost_good, 0.0);
+    }
+
+    #[test]
+    fn metric_tracks_misses_monotonically_here() {
+        let (program, trace, profile) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        let bad = Layout::source_order(&program);
+        let good = Layout::from_order(&program, &[ProcId::new(0), ProcId::new(2), ProcId::new(1)])
+            .unwrap();
+        let (cb, cg) = (
+            trg_conflict_cost(&program, &bad, &profile.trg_place, cache),
+            trg_conflict_cost(&program, &good, &profile.trg_place, cache),
+        );
+        let (mb, mg) = (
+            simulate(&program, &bad, &trace, cache).misses,
+            simulate(&program, &good, &trace, cache).misses,
+        );
+        assert!(cb > cg);
+        assert!(mb > mg);
+    }
+
+    #[test]
+    fn wcg_cost_counts_caller_callee_overlap_only() {
+        let (program, _, profile) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        let bad = Layout::source_order(&program);
+        let cost = wcg_conflict_cost(&program, &bad, &profile.wcg, cache);
+        assert!(cost > 0.0, "a and c are WCG neighbors and overlap");
+        // Overlap b with a instead: b has no WCG edge to anyone except via
+        // trace adjacency (none here: b never runs), so cost 0.
+        let overlap_b = Layout::from_addresses(vec![0, 8192, 4096]);
+        overlap_b.validate(&program).unwrap();
+        let cost_b = wcg_conflict_cost(&program, &overlap_b, &profile.wcg, cache);
+        assert_eq!(cost_b, 0.0);
+    }
+
+    #[test]
+    fn procedures_larger_than_cache_wrap() {
+        let program = Program::builder()
+            .procedure("huge", 20_000)
+            .build()
+            .unwrap();
+        let layout = Layout::source_order(&program);
+        let cache = CacheConfig::direct_mapped_8k();
+        // A single procedure conflicts with itself across wraps, but the
+        // TRG has no self-edges, so cost is 0 — and it must not panic.
+        let g = WeightedGraph::new();
+        assert_eq!(trg_conflict_cost(&program, &layout, &g, cache), 0.0);
+        assert_eq!(wcg_conflict_cost(&program, &layout, &g, cache), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_zero_cost() {
+        let (program, _, _) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        let layout = Layout::source_order(&program);
+        let g = WeightedGraph::new();
+        assert_eq!(trg_conflict_cost(&program, &layout, &g, cache), 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! The Pettis–Hansen procedure-placement algorithm (§2 of the paper).
+//!
+//! PH greedily merges the two call-graph nodes joined by the heaviest edge.
+//! Each node carries a *chain* (ordered list) of procedures; merging
+//! combines the two chains in one of four ways (`AB`, `AB'`, `A'B`,
+//! `A'B'`, where `'` is reversal), choosing the combination that minimizes
+//! the byte distance between the endpoints of the heaviest original edge
+//! crossing the chains. The final layout concatenates the surviving chains
+//! and packs procedures with no gaps.
+
+use std::collections::HashMap;
+
+use tempo_program::{Layout, ProcId, Program};
+
+use crate::{PlacementAlgorithm, PlacementContext};
+
+/// The Pettis–Hansen placement algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PettisHansen;
+
+impl PettisHansen {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        PettisHansen
+    }
+
+    /// Runs the chain-merging phase, returning the final procedure order.
+    pub fn place_order(&self, ctx: &PlacementContext<'_>) -> Vec<ProcId> {
+        let program = ctx.program;
+        let orig = &ctx.profile.wcg;
+        let mut working = orig.clone();
+
+        let mut node_of: Vec<u32> = (0..program.len() as u32).collect();
+        let mut chains: HashMap<u32, Vec<ProcId>> =
+            program.ids().map(|id| (id.index(), vec![id])).collect();
+
+        while let Some(e) = working.heaviest_edge() {
+            let (u, v) = (e.a, e.b);
+            let a = chains.remove(&u).expect("u is live");
+            let b = chains.remove(&v).expect("v is live");
+
+            // Heaviest original edge crossing the two chains.
+            let mut heavy: Option<(f64, ProcId, ProcId)> = None;
+            for &p in &a {
+                for q in orig.neighbors(p.index()) {
+                    if node_of[q as usize] != v {
+                        continue;
+                    }
+                    let w = orig.weight(p.index(), q);
+                    let key = (w, std::cmp::Reverse((p.index(), q)));
+                    let better = match &heavy {
+                        None => true,
+                        Some((hw, hp, hq)) => {
+                            key > (*hw, std::cmp::Reverse((hp.index(), hq.index())))
+                        }
+                    };
+                    if better {
+                        heavy = Some((w, p, ProcId::new(q)));
+                    }
+                }
+            }
+            let (_, hp, hq) = heavy.expect("working edge implies an original cross edge");
+
+            let combined = best_combination(program, &a, &b, hp, hq);
+            for &pid in &b {
+                node_of[pid.as_usize()] = u;
+            }
+            chains.insert(u, combined);
+            working.merge_nodes(u, v);
+        }
+
+        // Concatenate surviving chains: heaviest (by dynamic count) first,
+        // ties by smallest member id; never-referenced procedures land at
+        // the end in id order.
+        let mut remaining: Vec<(u32, Vec<ProcId>)> = chains.into_iter().collect();
+        remaining.sort_by_key(|(rep, chain)| {
+            let count: u64 = chain
+                .iter()
+                .map(|id| ctx.profile.popular.count_of(*id))
+                .sum();
+            (std::cmp::Reverse(count), *rep)
+        });
+        remaining.into_iter().flat_map(|(_, c)| c).collect()
+    }
+}
+
+/// Combines chains `a` and `b` as `AB`, `AB'`, `A'B`, or `A'B'`, choosing
+/// the variant that minimizes the byte distance between procedures `p ∈ a`
+/// and `q ∈ b` (ties resolved in the order listed).
+pub(crate) fn best_combination(
+    program: &Program,
+    a: &[ProcId],
+    b: &[ProcId],
+    p: ProcId,
+    q: ProcId,
+) -> Vec<ProcId> {
+    let forward_a: Vec<ProcId> = a.to_vec();
+    let reverse_a: Vec<ProcId> = a.iter().rev().copied().collect();
+    let forward_b: Vec<ProcId> = b.to_vec();
+    let reverse_b: Vec<ProcId> = b.iter().rev().copied().collect();
+    let candidates = [
+        [&forward_a, &forward_b],
+        [&forward_a, &reverse_b],
+        [&reverse_a, &forward_b],
+        [&reverse_a, &reverse_b],
+    ];
+
+    let mut best: Option<(u64, Vec<ProcId>)> = None;
+    for [ca, cb] in candidates {
+        let combined: Vec<ProcId> = ca.iter().chain(cb.iter()).copied().collect();
+        let d = distance(program, &combined, p, q);
+        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+            best = Some((d, combined));
+        }
+    }
+    best.expect("four candidates always exist").1
+}
+
+/// Byte distance between the end of the earlier and the start of the later
+/// of two procedures in a packed chain.
+fn distance(program: &Program, chain: &[ProcId], p: ProcId, q: ProcId) -> u64 {
+    let mut pos = 0u64;
+    let mut pos_p = None;
+    let mut pos_q = None;
+    for &id in chain {
+        if id == p {
+            pos_p = Some((pos, pos + u64::from(program.size_of(id))));
+        }
+        if id == q {
+            pos_q = Some((pos, pos + u64::from(program.size_of(id))));
+        }
+        pos += u64::from(program.size_of(id));
+    }
+    let (ps, pe) = pos_p.expect("p is in the chain");
+    let (qs, qe) = pos_q.expect("q is in the chain");
+    if pe <= qs {
+        qs - pe
+    } else {
+        ps - qe
+    }
+}
+
+impl PlacementAlgorithm for PettisHansen {
+    fn name(&self) -> &str {
+        "PH"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
+        let order = self.place_order(ctx);
+        Layout::from_order(ctx.program, &order).expect("chain concatenation is a permutation")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_cache::{simulate, CacheConfig};
+    use tempo_trace::Trace;
+    use tempo_trg::{PopularitySelector, Profiler};
+
+    fn profile(program: &Program, trace: &Trace) -> tempo_trg::ProfileData {
+        Profiler::new(program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(trace)
+    }
+
+    #[test]
+    fn heavy_pair_becomes_adjacent() {
+        let p = Program::builder()
+            .procedure("a", 4096)
+            .procedure("pad1", 2048)
+            .procedure("pad2", 2048)
+            .procedure("b", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..50 {
+            refs.extend([ids[0], ids[3]]);
+        }
+        refs.extend([ids[1], ids[2]]);
+        let t = Trace::from_full_records(&p, refs);
+        let prof = profile(&p, &t);
+        let ctx = PlacementContext::new(&p, &prof);
+        let order = PettisHansen::new().place_order(&ctx);
+        let pos = |id: ProcId| order.iter().position(|&x| x == id).unwrap();
+        assert_eq!(
+            pos(ids[3]).abs_diff(pos(ids[0])),
+            1,
+            "a and b must be adjacent"
+        );
+        // The hot chain leads the layout.
+        assert!(pos(ids[0]).min(pos(ids[3])) == 0);
+    }
+
+    #[test]
+    fn reduces_conflicts_vs_source_order() {
+        let p = Program::builder()
+            .procedure("a", 4096)
+            .procedure("pad", 4096)
+            .procedure("b", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..50 {
+            refs.extend([ids[0], ids[2]]);
+        }
+        let t = Trace::from_full_records(&p, refs);
+        let prof = profile(&p, &t);
+        let ctx = PlacementContext::new(&p, &prof);
+        let cache = CacheConfig::direct_mapped_8k();
+        let ph = PettisHansen::new().place(&ctx);
+        ph.validate(&p).unwrap();
+        let sp = simulate(&p, &ph, &t, cache);
+        let sd = simulate(&p, &Layout::source_order(&p), &t, cache);
+        assert!(
+            sp.misses < sd.misses / 10,
+            "ph {} default {}",
+            sp.misses,
+            sd.misses
+        );
+    }
+
+    #[test]
+    fn covers_all_procedures_including_unreferenced() {
+        let p = Program::builder()
+            .procedure("a", 100)
+            .procedure("never", 100)
+            .procedure("b", 100)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let t = Trace::from_full_records(&p, [ids[0], ids[2], ids[0]]);
+        let prof = profile(&p, &t);
+        let ctx = PlacementContext::new(&p, &prof);
+        let layout = PettisHansen::new().place(&ctx);
+        layout.validate(&p).unwrap();
+        assert_eq!(layout.padding(&p), 0, "PH packs with no gaps");
+        // The unreferenced procedure is pushed behind the hot chain.
+        assert!(layout.addr(ids[1]) > layout.addr(ids[0]));
+    }
+
+    #[test]
+    fn chain_combination_minimizes_hot_distance() {
+        // Chains [a, b] and [c, d] with the heavy edge between b and d:
+        // best combination is AB' = a b d c (distance 0 between b and d).
+        let p = Program::builder()
+            .procedure("a", 100)
+            .procedure("b", 100)
+            .procedure("c", 100)
+            .procedure("d", 100)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let combined = best_combination(&p, &[ids[0], ids[1]], &[ids[2], ids[3]], ids[1], ids[3]);
+        assert_eq!(combined, vec![ids[0], ids[1], ids[3], ids[2]]);
+    }
+
+    #[test]
+    fn distance_is_end_to_start() {
+        let p = Program::builder()
+            .procedure("a", 100)
+            .procedure("b", 50)
+            .procedure("c", 100)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let chain = vec![ids[0], ids[1], ids[2]];
+        assert_eq!(distance(&p, &chain, ids[0], ids[2]), 50);
+        assert_eq!(distance(&p, &chain, ids[2], ids[0]), 50);
+        assert_eq!(distance(&p, &chain, ids[0], ids[1]), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Program::builder()
+            .procedure("a", 300)
+            .procedure("b", 400)
+            .procedure("c", 500)
+            .procedure("d", 600)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let mut refs = Vec::new();
+        for i in 0..80 {
+            refs.extend([ids[i % 4], ids[(i + 1) % 4]]);
+        }
+        let t = Trace::from_full_records(&p, refs);
+        let prof = profile(&p, &t);
+        let ctx = PlacementContext::new(&p, &prof);
+        assert_eq!(
+            PettisHansen::new().place(&ctx),
+            PettisHansen::new().place(&ctx)
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Procedure splitting (the Pettis–Hansen technique the paper's §8 calls
+//! out as orthogonal: "procedure splitting ... can therefore be combined
+//! with our technique to achieve further improvements").
+//!
+//! Splitting separates each popular procedure into a *hot* part (the
+//! entry-side prefix that executes on most invocations) and a *cold* part
+//! (the rarely executed tail). The hot parts — much smaller than the whole
+//! procedures — are then placed by any placement algorithm, packing far
+//! more of the working set into the cache, while the cold parts are swept
+//! into the unpopular tail of the layout.
+//!
+//! Workflow:
+//!
+//! 1. [`SplitPlan::from_trace`] — derive each procedure's hot/cold
+//!    boundary from the byte extents observed in a training trace.
+//! 2. [`SplitProgram::split`] — rewrite the program, producing hot/cold
+//!    part procedures plus an id mapping.
+//! 3. [`SplitProgram::transform_trace`] — rewrite any trace into the split
+//!    id space (a record covering both parts becomes two records).
+//! 4. Profile, place, and simulate the split program as usual.
+
+use std::collections::HashMap;
+
+use tempo_program::{Layout, ProcId, Program, ProgramError};
+use tempo_trace::{Trace, TraceRecord};
+
+/// Per-procedure hot/cold boundaries, in bytes from the procedure entry.
+///
+/// A procedure with no entry (or a boundary covering its whole body) is
+/// left unsplit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SplitPlan {
+    /// `boundary[p]` = hot-prefix length of procedure `p`, if split.
+    boundary: HashMap<ProcId, u32>,
+}
+
+impl SplitPlan {
+    /// Creates an empty plan (splits nothing).
+    pub fn new() -> Self {
+        SplitPlan::default()
+    }
+
+    /// Requests a split of `proc` after `hot_len` bytes. Requests covering
+    /// the whole procedure (or leaving an empty part) are ignored at
+    /// [`SplitProgram::split`] time.
+    pub fn split_at(&mut self, proc: ProcId, hot_len: u32) -> &mut Self {
+        self.boundary.insert(proc, hot_len);
+        self
+    }
+
+    /// The planned boundary for a procedure, if any.
+    pub fn boundary(&self, proc: ProcId) -> Option<u32> {
+        self.boundary.get(&proc).copied()
+    }
+
+    /// Number of procedures the plan would split.
+    pub fn len(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// Returns `true` if the plan splits nothing.
+    pub fn is_empty(&self) -> bool {
+        self.boundary.is_empty()
+    }
+
+    /// Derives boundaries from a training trace: for each procedure, the
+    /// hot part is the smallest prefix covering `coverage` of the observed
+    /// executed bytes (so occasional full-body excursions do not inflate
+    /// it), rounded up to `align` bytes. Procedures whose hot part is the
+    /// whole body are not split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `(0, 1]` or `align` is zero.
+    pub fn from_trace(program: &Program, trace: &Trace, coverage: f64, align: u32) -> SplitPlan {
+        assert!(
+            coverage > 0.0 && coverage <= 1.0,
+            "coverage must be in (0, 1]"
+        );
+        assert!(align > 0, "alignment must be positive");
+        // Distribution of executed extents per procedure.
+        let mut extents: HashMap<ProcId, Vec<u32>> = HashMap::new();
+        for r in trace.iter() {
+            extents.entry(r.proc).or_default().push(r.bytes);
+        }
+        let mut plan = SplitPlan::new();
+        for (proc, mut xs) in extents {
+            xs.sort_unstable();
+            let idx = ((xs.len() as f64 * coverage).ceil() as usize).clamp(1, xs.len()) - 1;
+            let boundary = xs[idx].div_ceil(align) * align;
+            if boundary < program.size_of(proc) {
+                plan.split_at(proc, boundary);
+            }
+        }
+        plan
+    }
+}
+
+/// A program rewritten by a [`SplitPlan`], with id mappings in both
+/// directions.
+#[derive(Debug, Clone)]
+pub struct SplitProgram {
+    program: Program,
+    /// `hot_of[orig]` = id of the hot (or whole) part in the new program.
+    hot_of: Vec<ProcId>,
+    /// `cold_of[orig]` = id of the cold part, for split procedures.
+    cold_of: Vec<Option<ProcId>>,
+    /// Hot-prefix length of each split original.
+    hot_len: Vec<u32>,
+}
+
+impl SplitProgram {
+    /// Applies a plan to a program.
+    ///
+    /// Unsplit procedures keep their relative order and get the first ids;
+    /// cold parts are appended after all hot/whole parts (so popularity
+    /// and placement treat them as ordinary — unpopular — procedures).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the rewritten program would be invalid
+    /// (cannot happen for plans produced by [`SplitPlan::from_trace`]).
+    pub fn split(program: &Program, plan: &SplitPlan) -> Result<SplitProgram, ProgramError> {
+        let mut builder = Program::builder();
+        builder.chunk_size(program.chunk_size());
+        let mut hot_of = Vec::with_capacity(program.len());
+        let mut cold_of = vec![None; program.len()];
+        let mut hot_len = vec![0u32; program.len()];
+        // Pass 1: hot / whole parts, preserving original order.
+        let mut pending_cold: Vec<(ProcId, String, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        for (id, proc) in program.iter() {
+            match plan.boundary(id) {
+                Some(b) if b > 0 && b < proc.size() => {
+                    builder.procedure(format!("{}#hot", proc.name()), b);
+                    hot_of.push(ProcId::new(next_id));
+                    hot_len[id.as_usize()] = b;
+                    pending_cold.push((id, format!("{}#cold", proc.name()), proc.size() - b));
+                }
+                _ => {
+                    builder.procedure(proc.name().to_string(), proc.size());
+                    hot_of.push(ProcId::new(next_id));
+                }
+            }
+            next_id += 1;
+        }
+        // Pass 2: cold parts at the end.
+        for (orig, name, size) in pending_cold {
+            builder.procedure(name, size);
+            cold_of[orig.as_usize()] = Some(ProcId::new(next_id));
+            next_id += 1;
+        }
+        Ok(SplitProgram {
+            program: builder.build()?,
+            hot_of,
+            cold_of,
+            hot_len,
+        })
+    }
+
+    /// The rewritten program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of procedures that were actually split.
+    pub fn split_count(&self) -> usize {
+        self.cold_of.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The hot (or whole) part of an original procedure.
+    pub fn hot_part(&self, orig: ProcId) -> ProcId {
+        self.hot_of[orig.as_usize()]
+    }
+
+    /// The cold part of an original procedure, if it was split.
+    pub fn cold_part(&self, orig: ProcId) -> Option<ProcId> {
+        self.cold_of[orig.as_usize()]
+    }
+
+    /// Rewrites a trace over the original program into the split id space.
+    /// A record whose extent crosses the boundary becomes a hot-part record
+    /// followed by a cold-part record.
+    pub fn transform_trace(&self, trace: &Trace) -> Trace {
+        let mut out = Vec::with_capacity(trace.len());
+        for r in trace.iter() {
+            let hot = self.hot_of[r.proc.as_usize()];
+            match self.cold_of[r.proc.as_usize()] {
+                Some(cold) => {
+                    let boundary = self.hot_len[r.proc.as_usize()];
+                    out.push(TraceRecord::new(hot, r.bytes.min(boundary)));
+                    if r.bytes > boundary {
+                        out.push(TraceRecord::new(cold, r.bytes - boundary));
+                    }
+                }
+                None => out.push(TraceRecord::new(hot, r.bytes)),
+            }
+        }
+        Trace::from_records(out)
+    }
+
+    /// Maps a layout of the split program back to original-procedure hot
+    /// part addresses (useful for reporting; cold parts live at their own
+    /// addresses in the split layout).
+    pub fn hot_addresses(&self, layout: &Layout) -> Vec<u64> {
+        self.hot_of.iter().map(|h| layout.addr(*h)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gbsc, PlacementAlgorithm, PlacementContext};
+    use tempo_cache::{simulate, CacheConfig};
+    use tempo_trg::{PopularitySelector, Profiler};
+
+    fn program() -> Program {
+        Program::builder()
+            .procedure("f", 4096)
+            .procedure("g", 1024)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_from_trace_uses_coverage_quantile() {
+        let p = program();
+        let f = ProcId::new(0);
+        // f executes 512 bytes 9 times and its full body once.
+        let mut recs = vec![TraceRecord::new(f, 512); 9];
+        recs.push(TraceRecord::new(f, 4096));
+        let t = Trace::from_records(recs);
+        let plan = SplitPlan::from_trace(&p, &t, 0.9, 32);
+        assert_eq!(plan.boundary(f), Some(512));
+        // Full coverage keeps the whole body -> no split recorded.
+        let plan = SplitPlan::from_trace(&p, &t, 1.0, 32);
+        assert_eq!(plan.boundary(f), None);
+    }
+
+    #[test]
+    fn split_rewrites_program_and_ids() {
+        let p = program();
+        let mut plan = SplitPlan::new();
+        plan.split_at(ProcId::new(0), 512);
+        let sp = SplitProgram::split(&p, &plan).unwrap();
+        assert_eq!(sp.split_count(), 1);
+        assert_eq!(sp.program().len(), 3);
+        let hot = sp.hot_part(ProcId::new(0));
+        let cold = sp.cold_part(ProcId::new(0)).unwrap();
+        assert_eq!(sp.program().size_of(hot), 512);
+        assert_eq!(sp.program().size_of(cold), 4096 - 512);
+        assert_eq!(sp.program().proc(hot).name(), "f#hot");
+        assert_eq!(sp.program().proc(cold).name(), "f#cold");
+        // g is untouched and keeps a 1:1 mapping.
+        let g = sp.hot_part(ProcId::new(1));
+        assert_eq!(sp.program().proc(g).name(), "g");
+        assert!(sp.cold_part(ProcId::new(1)).is_none());
+    }
+
+    #[test]
+    fn degenerate_boundaries_do_not_split() {
+        let p = program();
+        let mut plan = SplitPlan::new();
+        plan.split_at(ProcId::new(0), 0);
+        plan.split_at(ProcId::new(1), 1024); // whole body
+        let sp = SplitProgram::split(&p, &plan).unwrap();
+        assert_eq!(sp.split_count(), 0);
+        assert_eq!(sp.program().len(), 2);
+    }
+
+    #[test]
+    fn trace_transform_splits_crossing_records() {
+        let p = program();
+        let mut plan = SplitPlan::new();
+        plan.split_at(ProcId::new(0), 512);
+        let sp = SplitProgram::split(&p, &plan).unwrap();
+        let t = Trace::from_records(vec![
+            TraceRecord::new(ProcId::new(0), 400),  // hot only
+            TraceRecord::new(ProcId::new(0), 2000), // crosses
+            TraceRecord::new(ProcId::new(1), 100),  // unsplit
+        ]);
+        let out = sp.transform_trace(&t);
+        out.validate(sp.program()).unwrap();
+        let recs = out.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0], TraceRecord::new(sp.hot_part(ProcId::new(0)), 400));
+        assert_eq!(recs[1], TraceRecord::new(sp.hot_part(ProcId::new(0)), 512));
+        assert_eq!(
+            recs[2],
+            TraceRecord::new(sp.cold_part(ProcId::new(0)).unwrap(), 1488)
+        );
+        assert_eq!(recs[3], TraceRecord::new(sp.hot_part(ProcId::new(1)), 100));
+    }
+
+    #[test]
+    fn splitting_preserves_total_bytes() {
+        let p = program();
+        let mut plan = SplitPlan::new();
+        plan.split_at(ProcId::new(0), 512);
+        let sp = SplitProgram::split(&p, &plan).unwrap();
+        assert_eq!(sp.program().total_size(), p.total_size());
+    }
+
+    #[test]
+    fn split_pipeline_end_to_end_reduces_hot_footprint() {
+        // Three 4 KB procedures that interleave but execute only 512-byte
+        // prefixes: the prefixes (1.5 KB total) fit a 2 KB cache, the
+        // whole bodies do not.
+        let p = Program::builder()
+            .procedure("a", 4096)
+            .procedure("b", 4096)
+            .procedure("c", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let mut recs = Vec::new();
+        for _ in 0..60 {
+            for &x in &ids {
+                recs.push(TraceRecord::new(x, 512));
+            }
+        }
+        let trace = Trace::from_records(recs);
+        let cache = CacheConfig::direct_mapped(2048).unwrap();
+
+        let plan = SplitPlan::from_trace(&p, &trace, 0.95, 32);
+        assert_eq!(plan.len(), 3);
+        let sp = SplitProgram::split(&p, &plan).unwrap();
+        let strace = sp.transform_trace(&trace);
+
+        let profile = Profiler::new(sp.program(), cache)
+            .popularity(PopularitySelector::all())
+            .profile(&strace);
+        let ctx = PlacementContext::new(sp.program(), &profile);
+        let layout = Gbsc::new().place(&ctx);
+        layout.validate(sp.program()).unwrap();
+        let split_stats = simulate(sp.program(), &layout, &strace, cache);
+
+        // Unsplit reference: GBSC on the original program.
+        let profile0 = Profiler::new(&p, cache)
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let ctx0 = PlacementContext::new(&p, &profile0);
+        let layout0 = Gbsc::new().place(&ctx0);
+        let unsplit_stats = simulate(&p, &layout0, &trace, cache);
+
+        assert!(
+            split_stats.misses <= unsplit_stats.misses,
+            "split {} vs unsplit {}",
+            split_stats.misses,
+            unsplit_stats.misses
+        );
+    }
+}

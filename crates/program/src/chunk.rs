@@ -1,0 +1,98 @@
+//! Iteration over the global chunk space of a [`Program`](crate::Program).
+
+use crate::{ChunkId, ProcId, Program};
+
+/// Descriptive record for one chunk: its id, owner, ordinal within the owner,
+/// byte offset within the owner, and byte length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkInfo {
+    /// Global chunk id.
+    pub id: ChunkId,
+    /// Owning procedure.
+    pub owner: ProcId,
+    /// Ordinal of this chunk within its owner (0-based).
+    pub ordinal: u32,
+    /// Byte offset of this chunk from the start of its owner.
+    pub offset: u32,
+    /// Byte length (the final chunk of a procedure may be a short tail).
+    pub len: u32,
+}
+
+/// Iterator over every chunk of a program, in global chunk-id order.
+///
+/// Produced by [`Chunks::new`]; iteration order is procedure id order, then
+/// chunk ordinal.
+#[derive(Debug, Clone)]
+pub struct Chunks<'p> {
+    program: &'p Program,
+    next: u32,
+}
+
+impl<'p> Chunks<'p> {
+    /// Creates an iterator over all chunks of `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Chunks { program, next: 0 }
+    }
+}
+
+impl Iterator for Chunks<'_> {
+    type Item = ChunkInfo;
+
+    fn next(&mut self) -> Option<ChunkInfo> {
+        if self.next >= self.program.chunk_count() {
+            return None;
+        }
+        let id = ChunkId::new(self.next);
+        self.next += 1;
+        let (owner, ordinal) = self.program.chunk_owner(id);
+        Some(ChunkInfo {
+            id,
+            owner,
+            ordinal,
+            offset: ordinal * self.program.chunk_size(),
+            len: self.program.chunk_len(id),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.program.chunk_count() - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Chunks<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_all_chunks_in_order() {
+        let p = Program::builder()
+            .procedure("a", 100)
+            .procedure("b", 600)
+            .build()
+            .unwrap();
+        let infos: Vec<_> = Chunks::new(&p).collect();
+        assert_eq!(infos.len(), 4);
+        assert_eq!(infos[0].owner, ProcId::new(0));
+        assert_eq!(infos[0].len, 100);
+        assert_eq!(infos[1].owner, ProcId::new(1));
+        assert_eq!(infos[1].ordinal, 0);
+        assert_eq!(infos[1].offset, 0);
+        assert_eq!(infos[2].offset, 256);
+        assert_eq!(infos[3].len, 88);
+        // Global ids are dense and increasing.
+        for (i, info) in infos.iter().enumerate() {
+            assert_eq!(info.id, ChunkId::new(i as u32));
+        }
+    }
+
+    #[test]
+    fn exact_size() {
+        let p = Program::builder().procedure("a", 1000).build().unwrap();
+        let it = Chunks::new(&p);
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.count(), 4);
+    }
+}

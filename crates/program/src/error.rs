@@ -1,0 +1,134 @@
+//! Error types for program and layout construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building a [`Program`](crate::Program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// A procedure was declared with a size of zero bytes.
+    ZeroSizedProcedure {
+        /// Name of the offending procedure.
+        name: String,
+    },
+    /// Two procedures share the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The chunk size is zero or not a power of two.
+    InvalidChunkSize {
+        /// The rejected chunk size.
+        chunk_size: u32,
+    },
+    /// The program contains no procedures.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::ZeroSizedProcedure { name } => {
+                write!(f, "procedure `{name}` has size zero")
+            }
+            ProgramError::DuplicateName { name } => {
+                write!(f, "duplicate procedure name `{name}`")
+            }
+            ProgramError::InvalidChunkSize { chunk_size } => {
+                write!(f, "chunk size {chunk_size} is not a positive power of two")
+            }
+            ProgramError::Empty => write!(f, "program contains no procedures"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Errors produced while building or validating a [`Layout`](crate::Layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// The layout assigns addresses to a different number of procedures than
+    /// the program contains.
+    WrongProcedureCount {
+        /// Number of procedures in the program.
+        expected: usize,
+        /// Number of addresses supplied.
+        found: usize,
+    },
+    /// Two procedures overlap in the linear address space.
+    Overlap {
+        /// First overlapping procedure.
+        first: crate::ProcId,
+        /// Second overlapping procedure.
+        second: crate::ProcId,
+    },
+    /// An ordering used to build a layout mentioned a procedure twice or
+    /// missed one.
+    InvalidOrder,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::WrongProcedureCount { expected, found } => write!(
+                f,
+                "layout covers {found} procedures but program has {expected}"
+            ),
+            LayoutError::Overlap { first, second } => {
+                write!(f, "procedures {first} and {second} overlap in memory")
+            }
+            LayoutError::InvalidOrder => {
+                write!(f, "procedure ordering is not a permutation of the program")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ProgramError::ZeroSizedProcedure {
+            name: "f".to_string(),
+        };
+        assert_eq!(e.to_string(), "procedure `f` has size zero");
+        let e = ProgramError::DuplicateName {
+            name: "g".to_string(),
+        };
+        assert!(e.to_string().contains("duplicate"));
+        let e = ProgramError::InvalidChunkSize { chunk_size: 3 };
+        assert!(e.to_string().contains('3'));
+        assert!(ProgramError::Empty.to_string().contains("no procedures"));
+    }
+
+    #[test]
+    fn layout_error_display() {
+        let e = LayoutError::WrongProcedureCount {
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+        let e = LayoutError::Overlap {
+            first: crate::ProcId::new(0),
+            second: crate::ProcId::new(1),
+        };
+        assert!(e.to_string().contains("overlap"));
+        assert!(LayoutError::InvalidOrder
+            .to_string()
+            .contains("permutation"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ProgramError>();
+        assert_error::<LayoutError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Newtyped identifiers for the procedure and chunk index spaces.
+
+use std::fmt;
+
+/// Identifier of a procedure within a [`Program`](crate::Program).
+///
+/// `ProcId`s are dense indices assigned in the order procedures were added to
+/// the [`ProgramBuilder`](crate::ProgramBuilder); they are valid only for the
+/// program that produced them.
+///
+/// ```
+/// use tempo_program::ProcId;
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Creates a `ProcId` from a raw dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the raw dense index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw dense index as a `usize`, convenient for slice access.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcId({})", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcId> for u32 {
+    fn from(id: ProcId) -> u32 {
+        id.0
+    }
+}
+
+/// Identifier of a fixed-size *chunk* of a procedure.
+///
+/// The paper's fine-grained graph `TRG_place` tracks temporal relationships
+/// between 256-byte pieces of procedures rather than whole procedures, so
+/// that procedures larger than the cache can still be given a meaningful
+/// cache-relative alignment (§4.2). A `ChunkId` is a dense index into the
+/// *global* chunk space of a program: chunk ids of procedure `p` are the
+/// contiguous range returned by [`Program::chunks_of`](crate::Program::chunks_of).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChunkId(u32);
+
+impl ChunkId {
+    /// Creates a `ChunkId` from a raw dense index into the global chunk space.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ChunkId(index)
+    }
+
+    /// Returns the raw dense index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw dense index as a `usize`, convenient for slice access.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChunkId({})", self.0)
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<ChunkId> for u32 {
+    fn from(id: ChunkId) -> u32 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_roundtrip() {
+        let p = ProcId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.as_usize(), 42);
+        assert_eq!(u32::from(p), 42);
+        assert_eq!(format!("{p}"), "p42");
+        assert_eq!(format!("{p:?}"), "ProcId(42)");
+    }
+
+    #[test]
+    fn chunk_id_roundtrip() {
+        let c = ChunkId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(format!("{c}"), "c7");
+        assert_eq!(format!("{c:?}"), "ChunkId(7)");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ProcId::new(1) < ProcId::new(2));
+        assert!(ChunkId::new(0) < ChunkId::new(1));
+    }
+
+    #[test]
+    fn ids_are_default_zero() {
+        assert_eq!(ProcId::default(), ProcId::new(0));
+        assert_eq!(ChunkId::default(), ChunkId::new(0));
+    }
+}

@@ -1,0 +1,341 @@
+//! Text serialization for programs and layouts.
+//!
+//! Both formats are line-oriented, human-editable, and round-trip exactly:
+//!
+//! * **Program** (`.procs`): a header line `tempo-program v1 <chunk_size>`
+//!   followed by one `name size` pair per line, in procedure-id order.
+//! * **Layout** (`.layout`): a header line `tempo-layout v1` followed by
+//!   one `proc_index address` pair per line (any order; indices must be
+//!   dense).
+//!
+//! `#` starts a comment; blank lines are ignored.
+//!
+//! ```
+//! use tempo_program::{Program, Layout};
+//! use tempo_program::io::{write_program, read_program};
+//!
+//! let program = Program::builder().procedure("main", 128).build()?;
+//! let mut buf = Vec::new();
+//! write_program(&mut buf, &program)?;
+//! let back = read_program(buf.as_slice())?;
+//! assert_eq!(back, program);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{Layout, ProcId, Program, ProgramError};
+
+/// Errors produced while reading programs or layouts.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProgramIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Missing or malformed header line.
+    BadHeader,
+    /// A body line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The parsed program failed validation.
+    Invalid(ProgramError),
+    /// A layout line repeats or skips a procedure index.
+    BadCoverage,
+}
+
+impl fmt::Display for ProgramIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProgramIoError::BadHeader => write!(f, "missing or malformed tempo header"),
+            ProgramIoError::BadLine { line } => write!(f, "malformed line {line}"),
+            ProgramIoError::Invalid(e) => write!(f, "invalid program: {e}"),
+            ProgramIoError::BadCoverage => {
+                write!(f, "layout does not cover procedure indices densely")
+            }
+        }
+    }
+}
+
+impl Error for ProgramIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProgramIoError::Io(e) => Some(e),
+            ProgramIoError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProgramIoError {
+    fn from(e: std::io::Error) -> Self {
+        ProgramIoError::Io(e)
+    }
+}
+
+impl From<ProgramError> for ProgramIoError {
+    fn from(e: ProgramError) -> Self {
+        ProgramIoError::Invalid(e)
+    }
+}
+
+/// Writes a program in the text format.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_program<W: Write>(mut w: W, program: &Program) -> Result<(), ProgramIoError> {
+    writeln!(w, "tempo-program v1 {}", program.chunk_size())?;
+    for (_, p) in program.iter() {
+        writeln!(w, "{} {}", p.name(), p.size())?;
+    }
+    Ok(())
+}
+
+/// Reads a program in the text format.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad header, unparsable lines, or a program that
+/// fails validation (duplicate names, zero sizes, ...).
+pub fn read_program<R: BufRead>(r: R) -> Result<Program, ProgramIoError> {
+    let mut lines = r.lines();
+    let header = loop {
+        match lines.next() {
+            None => return Err(ProgramIoError::BadHeader),
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('#') {
+                    break t.to_string();
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("tempo-program") || parts.next() != Some("v1") {
+        return Err(ProgramIoError::BadHeader);
+    }
+    let chunk_size: u32 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ProgramIoError::BadHeader)?;
+
+    let mut builder = Program::builder();
+    builder.chunk_size(chunk_size);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (Some(name), Some(size), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ProgramIoError::BadLine { line: lineno + 2 });
+        };
+        let size: u32 = size
+            .parse()
+            .map_err(|_| ProgramIoError::BadLine { line: lineno + 2 })?;
+        builder.procedure(name, size);
+    }
+    Ok(builder.build()?)
+}
+
+/// Writes a layout in the text format.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_layout<W: Write>(mut w: W, layout: &Layout) -> Result<(), ProgramIoError> {
+    writeln!(w, "tempo-layout v1")?;
+    // Emit in address order so the file reads as a memory map.
+    for id in layout.order() {
+        writeln!(w, "{} {}", id.index(), layout.addr(id))?;
+    }
+    Ok(())
+}
+
+/// Reads a layout in the text format.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad header, unparsable lines, or non-dense
+/// procedure indices.
+pub fn read_layout<R: BufRead>(r: R) -> Result<Layout, ProgramIoError> {
+    let mut entries: Vec<(u32, u64)> = Vec::new();
+    let mut saw_header = false;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if t != "tempo-layout v1" {
+                return Err(ProgramIoError::BadHeader);
+            }
+            saw_header = true;
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (Some(idx), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ProgramIoError::BadLine { line: lineno + 1 });
+        };
+        let idx: u32 = idx
+            .parse()
+            .map_err(|_| ProgramIoError::BadLine { line: lineno + 1 })?;
+        let addr: u64 = addr
+            .parse()
+            .map_err(|_| ProgramIoError::BadLine { line: lineno + 1 })?;
+        entries.push((idx, addr));
+    }
+    if !saw_header {
+        return Err(ProgramIoError::BadHeader);
+    }
+    let mut addrs = vec![u64::MAX; entries.len()];
+    for (idx, addr) in entries {
+        let slot = addrs
+            .get_mut(idx as usize)
+            .ok_or(ProgramIoError::BadCoverage)?;
+        if *slot != u64::MAX {
+            return Err(ProgramIoError::BadCoverage);
+        }
+        *slot = addr;
+    }
+    // u64::MAX is not a plausible address; any leftover means a gap.
+    if addrs.contains(&u64::MAX) {
+        return Err(ProgramIoError::BadCoverage);
+    }
+    Ok(Layout::from_addresses(addrs))
+}
+
+/// Convenience: the id-ordered `(name, addr)` pairs of a layout for
+/// reporting (e.g. producing linker scripts).
+pub fn layout_map(program: &Program, layout: &Layout) -> Vec<(String, u64)> {
+    layout
+        .order()
+        .into_iter()
+        .map(|id: ProcId| (program.proc(id).name().to_string(), layout.addr(id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        Program::builder()
+            .procedure("alpha", 100)
+            .procedure("beta", 200)
+            .chunk_size(128)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn program_roundtrip_preserves_chunk_size() {
+        let p = program();
+        let mut buf = Vec::new();
+        write_program(&mut buf, &p).unwrap();
+        let back = read_program(buf.as_slice()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.chunk_size(), 128);
+    }
+
+    #[test]
+    fn program_reader_skips_comments() {
+        let src = "# comment\n\ntempo-program v1 256\nf 10\n# another\ng 20\n";
+        let p = read_program(src.as_bytes()).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.proc_id("g").unwrap().index(), 1);
+    }
+
+    #[test]
+    fn program_reader_rejects_bad_input() {
+        assert!(matches!(
+            read_program("nonsense\n".as_bytes()).unwrap_err(),
+            ProgramIoError::BadHeader
+        ));
+        assert!(matches!(
+            read_program("tempo-program v1 256\nf\n".as_bytes()).unwrap_err(),
+            ProgramIoError::BadLine { line: 2 }
+        ));
+        assert!(matches!(
+            read_program("tempo-program v1 256\nf ten\n".as_bytes()).unwrap_err(),
+            ProgramIoError::BadLine { .. }
+        ));
+        assert!(matches!(
+            read_program("tempo-program v1 256\nf 0\n".as_bytes()).unwrap_err(),
+            ProgramIoError::Invalid(_)
+        ));
+        assert!(matches!(
+            read_program("tempo-program v1 256\n".as_bytes()).unwrap_err(),
+            ProgramIoError::Invalid(ProgramError::Empty)
+        ));
+    }
+
+    #[test]
+    fn layout_roundtrip() {
+        let p = program();
+        let l = Layout::from_addresses(vec![200, 0]);
+        l.validate(&p).unwrap();
+        let mut buf = Vec::new();
+        write_layout(&mut buf, &l).unwrap();
+        let back = read_layout(buf.as_slice()).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn layout_file_is_in_address_order() {
+        let l = Layout::from_addresses(vec![500, 0, 100]);
+        let mut buf = Vec::new();
+        write_layout(&mut buf, &l).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(body, vec!["1 0", "2 100", "0 500"]);
+    }
+
+    #[test]
+    fn layout_reader_rejects_gaps_and_duplicates() {
+        assert!(matches!(
+            read_layout("tempo-layout v1\n0 0\n0 10\n".as_bytes()).unwrap_err(),
+            ProgramIoError::BadCoverage
+        ));
+        assert!(matches!(
+            read_layout("tempo-layout v1\n0 0\n2 10\n".as_bytes()).unwrap_err(),
+            ProgramIoError::BadCoverage
+        ));
+        assert!(matches!(
+            read_layout("".as_bytes()).unwrap_err(),
+            ProgramIoError::BadHeader
+        ));
+        assert!(matches!(
+            read_layout("tempo-layout v1\nx y\n".as_bytes()).unwrap_err(),
+            ProgramIoError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn layout_map_names_addresses() {
+        let p = program();
+        let l = Layout::from_addresses(vec![200, 0]);
+        let map = layout_map(&p, &l);
+        assert_eq!(
+            map,
+            vec![("beta".to_string(), 0), ("alpha".to_string(), 200)]
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgramIoError::BadHeader.to_string().contains("header"));
+        assert!(ProgramIoError::BadLine { line: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ProgramIoError::BadCoverage.to_string().contains("densely"));
+    }
+}

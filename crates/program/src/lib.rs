@@ -1,0 +1,50 @@
+//! Program model for the **tempo** code-placement toolkit.
+//!
+//! This crate defines the static view of a program that every other tempo
+//! crate builds on:
+//!
+//! * [`Program`] — an immutable collection of [`Procedure`]s with byte sizes,
+//!   built through [`ProgramBuilder`].
+//! * [`ProcId`] / [`ChunkId`] — newtyped identifiers for procedures and for
+//!   the fixed-size *chunks* that the paper's fine-grained temporal
+//!   relationship graph (`TRG_place`) operates on (§4.1 of Gloy et al.,
+//!   MICRO-30 1997; the paper found 256-byte chunks to work well).
+//! * [`Layout`] — an assignment of a starting byte address to every
+//!   procedure, i.e. the *output* of a placement algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_program::{Program, Layout};
+//!
+//! let program = Program::builder()
+//!     .procedure("main", 512)
+//!     .procedure("helper", 96)
+//!     .build()?;
+//!
+//! // The default (source-order) layout packs procedures back to back.
+//! let layout = Layout::source_order(&program);
+//! let main = program.proc_id("main").unwrap();
+//! let helper = program.proc_id("helper").unwrap();
+//! assert_eq!(layout.addr(main), 0);
+//! assert_eq!(layout.addr(helper), 512);
+//! # Ok::<(), tempo_program::ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunk;
+mod error;
+mod ids;
+pub mod io;
+mod layout;
+mod procedure;
+mod program;
+
+pub use chunk::{ChunkInfo, Chunks};
+pub use error::{LayoutError, ProgramError};
+pub use ids::{ChunkId, ProcId};
+pub use layout::{Layout, LayoutBuilder};
+pub use procedure::Procedure;
+pub use program::{Program, ProgramBuilder, DEFAULT_CHUNK_SIZE};

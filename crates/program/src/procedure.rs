@@ -1,0 +1,77 @@
+//! The [`Procedure`] record.
+
+use std::fmt;
+
+/// A single procedure of a program: a named, contiguous block of code with a
+/// fixed byte size.
+///
+/// Procedures are the unit of placement in this toolkit, exactly as in the
+/// paper: a placement algorithm chooses a starting address for each
+/// procedure but never reorders code *within* a procedure.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Procedure {
+    name: String,
+    size: u32,
+}
+
+impl Procedure {
+    /// Creates a procedure record.
+    ///
+    /// Sizes are validated when the procedure is added to a
+    /// [`ProgramBuilder`](crate::ProgramBuilder), not here, so that the
+    /// builder can report the offending name.
+    pub fn new(name: impl Into<String>, size: u32) -> Self {
+        Procedure {
+            name: name.into(),
+            size,
+        }
+    }
+
+    /// The procedure's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The procedure's size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+impl fmt::Debug for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Procedure({:?}, {} bytes)", self.name, self.size)
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} bytes)", self.name, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Procedure::new("quicksort", 384);
+        assert_eq!(p.name(), "quicksort");
+        assert_eq!(p.size(), 384);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let p = Procedure::new("f", 32);
+        assert_eq!(p.to_string(), "f (32 bytes)");
+        assert_eq!(format!("{p:?}"), "Procedure(\"f\", 32 bytes)");
+    }
+
+    #[test]
+    fn accepts_string_and_str() {
+        let a = Procedure::new(String::from("x"), 1);
+        let b = Procedure::new("x", 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,424 @@
+//! The [`Program`] collection and its builder.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use crate::{ChunkId, ProcId, Procedure, ProgramError};
+
+/// Default chunk size in bytes for fine-grained temporal profiling.
+///
+/// The paper reports that "a chunk size of 256 bytes works well" (§4.1).
+pub const DEFAULT_CHUNK_SIZE: u32 = 256;
+
+/// An immutable program: a list of procedures plus the derived chunk index.
+///
+/// Build one with [`Program::builder`]. Procedure ids are dense and assigned
+/// in insertion order; the *source order* of procedures (the order an
+/// unoptimizing linker would emit them in) is exactly id order.
+///
+/// # Example
+///
+/// ```
+/// use tempo_program::Program;
+///
+/// let program = Program::builder()
+///     .procedure("a", 300)
+///     .procedure("b", 256)
+///     .chunk_size(256)
+///     .build()?;
+///
+/// assert_eq!(program.len(), 2);
+/// let a = program.proc_id("a").unwrap();
+/// // 300 bytes => two 256-byte chunks (the second holds the 44-byte tail).
+/// assert_eq!(program.chunks_of(a).len(), 2);
+/// # Ok::<(), tempo_program::ProgramError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Program {
+    procs: Vec<Procedure>,
+    names: HashMap<String, ProcId>,
+    chunk_size: u32,
+    /// `chunk_base[i]` is the global index of the first chunk of procedure
+    /// `i`; `chunk_base[len]` is the total chunk count.
+    chunk_base: Vec<u32>,
+    total_size: u64,
+}
+
+impl Program {
+    /// Starts building a program.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::new()
+    }
+
+    /// Number of procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Returns `true` if the program has no procedures.
+    ///
+    /// Note that [`ProgramBuilder::build`] rejects empty programs, so this is
+    /// always `false` for programs built through the builder; it exists for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Total code size in bytes (sum of all procedure sizes).
+    pub fn total_size(&self) -> u64 {
+        self.total_size
+    }
+
+    /// The chunk size, in bytes, used to derive the chunk index.
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// The procedure with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn proc(&self, id: ProcId) -> &Procedure {
+        &self.procs[id.as_usize()]
+    }
+
+    /// Size in bytes of the procedure with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn size_of(&self, id: ProcId) -> u32 {
+        self.procs[id.as_usize()].size()
+    }
+
+    /// Looks up a procedure id by name.
+    pub fn proc_id(&self, name: &str) -> Option<ProcId> {
+        self.names.get(name).copied()
+    }
+
+    /// Iterates over `(ProcId, &Procedure)` pairs in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (ProcId, &Procedure)> + '_ {
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId::new(i as u32), p))
+    }
+
+    /// Iterates over all procedure ids in id order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = ProcId> + DoubleEndedIterator {
+        (0..self.procs.len() as u32).map(ProcId::new)
+    }
+
+    /// Total number of chunks across all procedures.
+    pub fn chunk_count(&self) -> u32 {
+        *self.chunk_base.last().expect("chunk_base is never empty")
+    }
+
+    /// Global chunk-id range of the given procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn chunks_of(&self, id: ProcId) -> Range<u32> {
+        let i = id.as_usize();
+        self.chunk_base[i]..self.chunk_base[i + 1]
+    }
+
+    /// The procedure owning a global chunk id, and the chunk's ordinal within
+    /// that procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range for this program.
+    pub fn chunk_owner(&self, chunk: ChunkId) -> (ProcId, u32) {
+        let c = chunk.index();
+        assert!(c < self.chunk_count(), "chunk id out of range");
+        // chunk_base is sorted; find the procedure whose range contains c.
+        let i = match self.chunk_base.binary_search(&c) {
+            Ok(mut i) => {
+                // Exact hits may land on an empty-range boundary shared by
+                // several procedures; walk forward to the owner (the entry
+                // whose range is non-empty).
+                while self.chunk_base[i + 1] == c {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (ProcId::new(i as u32), c - self.chunk_base[i])
+    }
+
+    /// Size in bytes of a chunk (the last chunk of a procedure may be a
+    /// short tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range for this program.
+    pub fn chunk_len(&self, chunk: ChunkId) -> u32 {
+        let (owner, ordinal) = self.chunk_owner(chunk);
+        let size = self.size_of(owner);
+        let start = ordinal * self.chunk_size;
+        (size - start).min(self.chunk_size)
+    }
+
+    /// The global chunk id covering byte `offset` of procedure `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= size_of(id)`.
+    pub fn chunk_at(&self, id: ProcId, offset: u32) -> ChunkId {
+        assert!(offset < self.size_of(id), "offset beyond procedure end");
+        ChunkId::new(self.chunk_base[id.as_usize()] + offset / self.chunk_size)
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Program({} procedures, {} bytes, {}-byte chunks)",
+            self.procs.len(),
+            self.total_size,
+            self.chunk_size
+        )
+    }
+}
+
+/// Builder for [`Program`].
+///
+/// Procedures receive dense ids in the order they are added.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    procs: Vec<Procedure>,
+    chunk_size: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the default 256-byte chunk size.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            procs: Vec::new(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Adds a procedure; its id will be the number of procedures added so far.
+    pub fn procedure(&mut self, name: impl Into<String>, size: u32) -> &mut Self {
+        self.procs.push(Procedure::new(name, size));
+        self
+    }
+
+    /// Adds an already-constructed [`Procedure`].
+    pub fn push(&mut self, proc: Procedure) -> &mut Self {
+        self.procs.push(proc);
+        self
+    }
+
+    /// Overrides the chunk size (bytes). Must be a positive power of two.
+    pub fn chunk_size(&mut self, chunk_size: u32) -> &mut Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program is empty, a procedure has size zero,
+    /// two procedures share a name, or the chunk size is not a positive
+    /// power of two.
+    pub fn build(&self) -> Result<Program, ProgramError> {
+        if self.procs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.chunk_size == 0 || !self.chunk_size.is_power_of_two() {
+            return Err(ProgramError::InvalidChunkSize {
+                chunk_size: self.chunk_size,
+            });
+        }
+        let mut names = HashMap::with_capacity(self.procs.len());
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.size() == 0 {
+                return Err(ProgramError::ZeroSizedProcedure {
+                    name: p.name().to_string(),
+                });
+            }
+            if names
+                .insert(p.name().to_string(), ProcId::new(i as u32))
+                .is_some()
+            {
+                return Err(ProgramError::DuplicateName {
+                    name: p.name().to_string(),
+                });
+            }
+        }
+        let mut chunk_base = Vec::with_capacity(self.procs.len() + 1);
+        let mut next = 0u32;
+        let mut total = 0u64;
+        for p in &self.procs {
+            chunk_base.push(next);
+            next += p.size().div_ceil(self.chunk_size);
+            total += u64::from(p.size());
+        }
+        chunk_base.push(next);
+        Ok(Program {
+            procs: self.procs.clone(),
+            names,
+            chunk_size: self.chunk_size,
+            chunk_base,
+            total_size: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_proc_program() -> Program {
+        Program::builder()
+            .procedure("a", 100)
+            .procedure("b", 256)
+            .procedure("c", 600)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = three_proc_program();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.total_size(), 956);
+        assert_eq!(p.chunk_size(), DEFAULT_CHUNK_SIZE);
+        let b = p.proc_id("b").unwrap();
+        assert_eq!(p.proc(b).name(), "b");
+        assert_eq!(p.size_of(b), 256);
+        assert!(p.proc_id("nope").is_none());
+    }
+
+    #[test]
+    fn ids_follow_insertion_order() {
+        let p = three_proc_program();
+        let ids: Vec<_> = p.ids().collect();
+        assert_eq!(ids, vec![ProcId::new(0), ProcId::new(1), ProcId::new(2)]);
+        let names: Vec<_> = p.iter().map(|(_, pr)| pr.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn chunk_index_shapes() {
+        let p = three_proc_program();
+        // a: 100 bytes -> 1 chunk; b: 256 -> 1 chunk; c: 600 -> 3 chunks.
+        assert_eq!(p.chunk_count(), 5);
+        assert_eq!(p.chunks_of(ProcId::new(0)), 0..1);
+        assert_eq!(p.chunks_of(ProcId::new(1)), 1..2);
+        assert_eq!(p.chunks_of(ProcId::new(2)), 2..5);
+    }
+
+    #[test]
+    fn chunk_owner_and_len() {
+        let p = three_proc_program();
+        assert_eq!(p.chunk_owner(ChunkId::new(0)), (ProcId::new(0), 0));
+        assert_eq!(p.chunk_owner(ChunkId::new(1)), (ProcId::new(1), 0));
+        assert_eq!(p.chunk_owner(ChunkId::new(2)), (ProcId::new(2), 0));
+        assert_eq!(p.chunk_owner(ChunkId::new(4)), (ProcId::new(2), 2));
+        assert_eq!(p.chunk_len(ChunkId::new(0)), 100);
+        assert_eq!(p.chunk_len(ChunkId::new(1)), 256);
+        assert_eq!(p.chunk_len(ChunkId::new(2)), 256);
+        assert_eq!(p.chunk_len(ChunkId::new(4)), 88); // 600 - 512
+    }
+
+    #[test]
+    fn chunk_at_maps_offsets() {
+        let p = three_proc_program();
+        let c = ProcId::new(2);
+        assert_eq!(p.chunk_at(c, 0), ChunkId::new(2));
+        assert_eq!(p.chunk_at(c, 255), ChunkId::new(2));
+        assert_eq!(p.chunk_at(c, 256), ChunkId::new(3));
+        assert_eq!(p.chunk_at(c, 599), ChunkId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset beyond procedure end")]
+    fn chunk_at_rejects_out_of_range() {
+        let p = three_proc_program();
+        p.chunk_at(ProcId::new(0), 100);
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(Program::builder().build().unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn build_rejects_zero_size() {
+        let err = Program::builder().procedure("z", 0).build().unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::ZeroSizedProcedure {
+                name: "z".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn build_rejects_duplicate_names() {
+        let err = Program::builder()
+            .procedure("f", 1)
+            .procedure("f", 2)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::DuplicateName {
+                name: "f".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_chunk_size() {
+        let err = Program::builder()
+            .procedure("f", 1)
+            .chunk_size(100)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ProgramError::InvalidChunkSize { chunk_size: 100 });
+        let err = Program::builder()
+            .procedure("f", 1)
+            .chunk_size(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ProgramError::InvalidChunkSize { chunk_size: 0 });
+    }
+
+    #[test]
+    fn custom_chunk_size() {
+        let p = Program::builder()
+            .procedure("f", 100)
+            .chunk_size(32)
+            .build()
+            .unwrap();
+        assert_eq!(p.chunk_count(), 4); // ceil(100/32)
+        assert_eq!(p.chunk_len(ChunkId::new(3)), 4);
+    }
+
+    #[test]
+    fn tiny_procedures_each_get_one_chunk() {
+        let p = Program::builder()
+            .procedure("a", 1)
+            .procedure("b", 1)
+            .procedure("c", 1)
+            .build()
+            .unwrap();
+        assert_eq!(p.chunk_count(), 3);
+        for (i, id) in p.ids().enumerate() {
+            assert_eq!(p.chunks_of(id), (i as u32)..(i as u32 + 1));
+            assert_eq!(p.chunk_owner(ChunkId::new(i as u32)).0, id);
+        }
+    }
+}

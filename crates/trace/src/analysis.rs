@@ -1,0 +1,230 @@
+//! Trace analysis: reuse distances and working-set profiles.
+//!
+//! These are the quantities the paper's §3 reasons about informally
+//! ("which other code blocks are referenced temporally nearby", "a
+//! sufficiently large amount of unique code has been executed since"):
+//!
+//! * [`reuse_distances`] — for every re-reference to a procedure, the
+//!   number of **bytes of distinct other procedures** referenced since its
+//!   previous occurrence. A re-reference with reuse distance below the
+//!   cache size is a conflict-miss candidate that placement can save; one
+//!   above it is doomed regardless (capacity). The Q-set bound of twice
+//!   the cache size is exactly a cutoff on this distribution.
+//! * [`working_set_sizes`] — Denning working sets: distinct procedure
+//!   bytes touched per fixed-length window, the footprint a phase presents
+//!   to the cache.
+
+use std::collections::HashMap;
+
+use tempo_program::Program;
+
+use crate::Trace;
+
+/// Histogram-style summary of a sample of `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DistanceSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Median sample (0 if empty).
+    pub median: u64,
+    /// Samples at or below each probe point, parallel to the probes given
+    /// to [`reuse_distances`].
+    pub at_or_below: Vec<u64>,
+}
+
+/// Computes the byte reuse-distance distribution of a trace.
+///
+/// For each record whose procedure occurred before, the distance is the
+/// total size of *distinct* other procedures referenced in between.
+/// `probes` are cutoffs (in bytes) for the returned cumulative counts —
+/// pass `[cache, 2 * cache]` to see how many reuses a cache-sized reach
+/// and the paper's 2x Q bound would capture.
+pub fn reuse_distances(program: &Program, trace: &Trace, probes: &[u64]) -> DistanceSummary {
+    // Timestamped last-occurrence per procedure plus an ordered list of
+    // (time, proc, size) to measure distinct bytes in a window. A BTreeMap
+    // keyed by time gives O(log n + k) window scans.
+    use std::collections::BTreeMap;
+    let mut last_seen: HashMap<u32, u64> = HashMap::new();
+    let mut live: BTreeMap<u64, u32> = BTreeMap::new(); // time -> proc
+    let mut time_of: HashMap<u32, u64> = HashMap::new();
+    let mut samples: Vec<u64> = Vec::new();
+    for (t, r) in trace.iter().enumerate() {
+        let t = t as u64;
+        let p = r.proc.index();
+        if let Some(&prev) = last_seen.get(&p) {
+            // Distinct procedures with last occurrence strictly after prev.
+            let mut dist = 0u64;
+            for (_, &q) in live.range((prev + 1)..) {
+                if q != p {
+                    dist += u64::from(program.size_of(tempo_program::ProcId::new(q)));
+                }
+            }
+            samples.push(dist);
+        }
+        // Update the live index: move p to time t.
+        if let Some(&old) = time_of.get(&p) {
+            live.remove(&old);
+        }
+        live.insert(t, p);
+        time_of.insert(p, t);
+        last_seen.insert(p, t);
+    }
+    summarize(samples, probes)
+}
+
+fn summarize(mut samples: Vec<u64>, probes: &[u64]) -> DistanceSummary {
+    if samples.is_empty() {
+        return DistanceSummary {
+            at_or_below: vec![0; probes.len()],
+            ..DistanceSummary::default()
+        };
+    }
+    samples.sort_unstable();
+    let at_or_below = probes
+        .iter()
+        .map(|&p| samples.partition_point(|&s| s <= p) as u64)
+        .collect();
+    DistanceSummary {
+        count: samples.len() as u64,
+        min: samples[0],
+        max: *samples.last().expect("non-empty"),
+        median: samples[samples.len() / 2],
+        at_or_below,
+    }
+}
+
+/// Distinct procedure bytes touched in each consecutive window of
+/// `window` records (the final partial window is included if at least
+/// half full). Returns one footprint per window.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn working_set_sizes(program: &Program, trace: &Trace, window: usize) -> Vec<u64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::new();
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    let mut bytes = 0u64;
+    let mut filled = 0usize;
+    for r in trace.iter() {
+        if seen.insert(r.proc.index(), ()).is_none() {
+            bytes += u64::from(program.size_of(r.proc));
+        }
+        filled += 1;
+        if filled == window {
+            out.push(bytes);
+            seen.clear();
+            bytes = 0;
+            filled = 0;
+        }
+    }
+    if filled * 2 >= window {
+        out.push(bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_program::ProcId;
+
+    fn program() -> Program {
+        Program::builder()
+            .procedure("a", 100)
+            .procedure("b", 200)
+            .procedure("c", 400)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reuse_distance_counts_distinct_bytes_between() {
+        let p = program();
+        let ids: Vec<ProcId> = p.ids().collect();
+        // a b c a : a's reuse distance = size(b) + size(c) = 600.
+        let t = Trace::from_full_records(&p, [ids[0], ids[1], ids[2], ids[0]]);
+        let s = reuse_distances(&p, &t, &[100, 600, 1000]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 600);
+        assert_eq!(s.max, 600);
+        assert_eq!(s.median, 600);
+        assert_eq!(s.at_or_below, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_intervenors_count_once() {
+        let p = program();
+        let ids: Vec<ProcId> = p.ids().collect();
+        // a b b b a : only one distinct intervenor.
+        let t = Trace::from_full_records(&p, [ids[0], ids[1], ids[1], ids[1], ids[0]]);
+        let s = reuse_distances(&p, &t, &[]);
+        // Samples: b->b (0), b->b (0), a->a (200).
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 200);
+    }
+
+    #[test]
+    fn immediate_rereference_is_zero_distance() {
+        let p = program();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let t = Trace::from_full_records(&p, [ids[0], ids[0]]);
+        let s = reuse_distances(&p, &t, &[0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.at_or_below, vec![1]);
+    }
+
+    #[test]
+    fn empty_and_cold_traces() {
+        let p = program();
+        let s = reuse_distances(&p, &Trace::new(), &[100]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.at_or_below, vec![0]);
+        let ids: Vec<ProcId> = p.ids().collect();
+        let t = Trace::from_full_records(&p, [ids[0], ids[1], ids[2]]);
+        let s = reuse_distances(&p, &t, &[100]);
+        assert_eq!(s.count, 0, "no re-references");
+    }
+
+    #[test]
+    fn probes_answered_independently_of_order() {
+        let p = program();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let t = Trace::from_full_records(&p, [ids[0], ids[1], ids[2], ids[0]]);
+        let s = reuse_distances(&p, &t, &[1000, 100, 600]);
+        assert_eq!(s.at_or_below, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn working_sets_per_window() {
+        let p = program();
+        let ids: Vec<ProcId> = p.ids().collect();
+        // Windows of 2: [a b] = 300, [a a] = 100, [c c] = 400.
+        let t = Trace::from_full_records(&p, [ids[0], ids[1], ids[0], ids[0], ids[2], ids[2]]);
+        assert_eq!(working_set_sizes(&p, &t, 2), vec![300, 100, 400]);
+    }
+
+    #[test]
+    fn partial_final_window_included_when_half_full() {
+        let p = program();
+        let ids: Vec<ProcId> = p.ids().collect();
+        let t = Trace::from_full_records(&p, [ids[0], ids[1], ids[2]]);
+        // Window 4: only 3 records (>= half) -> one partial window.
+        assert_eq!(working_set_sizes(&p, &t, 4), vec![700]);
+        // Window 100: 3 records < half -> nothing.
+        assert!(working_set_sizes(&p, &t, 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let p = program();
+        working_set_sizes(&p, &Trace::new(), 0);
+    }
+}

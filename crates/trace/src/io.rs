@@ -1,0 +1,349 @@
+//! Trace serialization.
+//!
+//! Two formats are provided:
+//!
+//! * a compact, versioned **binary** format (`TMPO` magic, little-endian
+//!   fixed-width records) for large traces, and
+//! * a **text** format (one `proc_index bytes` pair per line, `#` comments)
+//!   for hand-written fixtures and debugging.
+//!
+//! Both round-trip exactly.
+//!
+//! ```
+//! use tempo_program::ProcId;
+//! use tempo_trace::{Trace, TraceRecord};
+//! use tempo_trace::io::{read_binary, write_binary};
+//!
+//! let trace = Trace::from_records(vec![TraceRecord::new(ProcId::new(3), 40)]);
+//! let mut buf = Vec::new();
+//! write_binary(&mut buf, &trace)?;
+//! let back = read_binary(&mut buf.as_slice())?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), tempo_trace::io::TraceIoError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Read, Write};
+
+use tempo_program::ProcId;
+
+use crate::{Trace, TraceRecord};
+
+/// Magic bytes opening the binary trace format.
+pub const MAGIC: [u8; 4] = *b"TMPO";
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not start with the `TMPO` magic.
+    BadMagic,
+    /// The input declares an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The input ended before the declared record count was read.
+    Truncated {
+        /// Records expected per the header.
+        expected: u64,
+        /// Records actually read.
+        found: u64,
+    },
+    /// A text-format line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A record carries a zero byte extent, which no valid trace contains.
+    ZeroExtent {
+        /// 0-based record index.
+        index: u64,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "input is not a tempo binary trace"),
+            TraceIoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceIoError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "trace truncated: expected {expected} records, found {found}"
+                )
+            }
+            TraceIoError::BadLine { line } => write!(f, "malformed trace text at line {line}"),
+            TraceIoError::ZeroExtent { index } => {
+                write!(f, "record {index} has a zero byte extent")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the binary format.
+///
+/// A `&mut` reference to any writer can be passed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_binary<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    // Buffer records in 64 KiB blocks to keep syscall counts low for large
+    // traces without requiring the caller to wrap the writer.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for r in trace.iter() {
+        buf.extend_from_slice(&r.proc.index().to_le_bytes());
+        buf.extend_from_slice(&r.bytes.to_le_bytes());
+        if buf.len() >= 64 * 1024 - 8 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a trace in the binary format.
+///
+/// A `&mut` reference to any reader can be passed.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic, unsupported versions, truncation, or
+/// zero-extent records.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let mut dword = [0u8; 8];
+    r.read_exact(&mut dword)?;
+    let count = u64::from_le_bytes(dword);
+    let mut records = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+    let mut rec = [0u8; 8];
+    for i in 0..count {
+        if let Err(e) = r.read_exact(&mut rec) {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                return Err(TraceIoError::Truncated {
+                    expected: count,
+                    found: i,
+                });
+            }
+            return Err(e.into());
+        }
+        let proc = u32::from_le_bytes(rec[0..4].try_into().expect("slice is 4 bytes"));
+        let bytes = u32::from_le_bytes(rec[4..8].try_into().expect("slice is 4 bytes"));
+        if bytes == 0 {
+            return Err(TraceIoError::ZeroExtent { index: i });
+        }
+        records.push(TraceRecord::new(ProcId::new(proc), bytes));
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Writes a trace in the text format: one `proc_index bytes` pair per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    for r in trace.iter() {
+        writeln!(w, "{} {}", r.proc.index(), r.bytes)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format. Blank lines and lines starting with `#`
+/// are ignored.
+///
+/// # Errors
+///
+/// Fails on I/O errors, unparsable lines, or zero byte extents.
+pub fn read_text<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut records = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(p), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(TraceIoError::BadLine { line: lineno + 1 });
+        };
+        let proc: u32 = p
+            .parse()
+            .map_err(|_| TraceIoError::BadLine { line: lineno + 1 })?;
+        let bytes: u32 = b
+            .parse()
+            .map_err(|_| TraceIoError::BadLine { line: lineno + 1 })?;
+        if bytes == 0 {
+            return Err(TraceIoError::ZeroExtent {
+                index: records.len() as u64,
+            });
+        }
+        records.push(TraceRecord::new(ProcId::new(proc), bytes));
+    }
+    Ok(Trace::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::from_records(vec![
+            TraceRecord::new(ProcId::new(0), 100),
+            TraceRecord::new(ProcId::new(5), 32),
+            TraceRecord::new(ProcId::new(0), 1),
+            TraceRecord::new(ProcId::new(1_000_000), u32::MAX),
+        ])
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        assert_eq!(&buf[0..4], b"TMPO");
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn binary_large_trace_crosses_buffer_boundary() {
+        let records: Vec<_> = (0..20_000)
+            .map(|i| TraceRecord::new(ProcId::new(i % 97), (i % 1000) + 1))
+            .collect();
+        let t = Trace::from_records(records);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 4);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::Truncated {
+                expected: 4,
+                found: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_zero_extent() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::ZeroExtent { index: 0 }));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &t).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let src = "# header\n\n0 10\n   \n# mid\n1 20\n";
+        let t = read_text(src.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[1], TraceRecord::new(ProcId::new(1), 20));
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(
+            read_text("0 10\nhello world extra\n".as_bytes()).unwrap_err(),
+            TraceIoError::BadLine { line: 2 }
+        ));
+        assert!(matches!(
+            read_text("0\n".as_bytes()).unwrap_err(),
+            TraceIoError::BadLine { line: 1 }
+        ));
+        assert!(matches!(
+            read_text("0 0\n".as_bytes()).unwrap_err(),
+            TraceIoError::ZeroExtent { index: 0 }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_useful() {
+        assert!(TraceIoError::BadMagic.to_string().contains("binary trace"));
+        assert!(TraceIoError::UnsupportedVersion(3)
+            .to_string()
+            .contains('3'));
+        assert!(TraceIoError::BadLine { line: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,47 @@
+//! Procedure-grain execution traces for the **tempo** toolkit.
+//!
+//! The paper drives every placement algorithm from a program trace: an
+//! ordered record of control-flow transitions between procedures (calls
+//! *and* returns). This crate defines:
+//!
+//! * [`TraceRecord`] / [`Trace`] — the trace representation. Each record is
+//!   one control-flow transition *into* a procedure together with the number
+//!   of bytes executed before the next transition, which is what a
+//!   line-accurate instruction-cache simulation needs.
+//! * [`io`] — a compact, versioned binary format plus a human-readable text
+//!   format for traces.
+//! * [`stats`] — the small statistical samplers (normal, lognormal, Zipf)
+//!   used by the workload substrate and the profile-perturbation machinery,
+//!   implemented in-repo so the only randomness dependency is `rand`.
+//! * [`analysis`] — reuse-distance and working-set analysis of traces,
+//!   the quantities the paper's Q-set bound reasons about.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_program::{Program, ProcId};
+//! use tempo_trace::{Trace, TraceRecord};
+//!
+//! let program = Program::builder()
+//!     .procedure("m", 128)
+//!     .procedure("x", 64)
+//!     .build()?;
+//! let m = program.proc_id("m").unwrap();
+//! let x = program.proc_id("x").unwrap();
+//!
+//! // m calls x, x returns to m: three transitions.
+//! let trace = Trace::from_full_records(&program, [m, x, m]);
+//! assert_eq!(trace.len(), 3);
+//! assert_eq!(trace.records()[1].proc, x);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod io;
+pub mod stats;
+mod trace;
+
+pub use trace::{Trace, TraceBuilder, TraceRecord, TraceStats};

@@ -1,0 +1,243 @@
+//! Minimal statistical samplers over any [`rand::Rng`].
+//!
+//! The paper's methodology needs exactly three distributions:
+//!
+//! * standard **normal** deviates for the multiplicative profile
+//!   perturbation ŵ = w·exp(sX) of §5.1,
+//! * **lognormal** procedure-size draws for the synthetic workload models,
+//! * **Zipf**-like popularity skew for call-site selection.
+//!
+//! They are implemented here (Box–Muller; inverse-CDF-by-table Zipf) so the
+//! workspace's only randomness dependency is `rand` itself.
+
+use rand::Rng;
+
+/// Samples a standard normal deviate (mean 0, variance 1) via the Box–Muller
+/// transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = tempo_trace::stats::standard_normal(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal deviate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev >= 0.0 && std_dev.is_finite(),
+        "standard deviation must be finite and non-negative"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a lognormal deviate: `exp(N(mu, sigma))`.
+///
+/// `mu`/`sigma` are the mean and standard deviation of the *underlying*
+/// normal, i.e. the median of the result is `exp(mu)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Discrete Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k+1)^s`.
+///
+/// Sampling is O(log n) by binary search over the precomputed CDF; building
+/// the sampler is O(n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has exactly zero ranks (never true;
+    /// construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Multiplies `w` by lognormal noise `exp(s·X)` with `X ~ N(0,1)` — the
+/// paper's §5.1 profile perturbation. `s = 0` returns `w` unchanged.
+///
+/// # Panics
+///
+/// Panics if `s` is negative or not finite.
+pub fn perturb_weight<R: Rng + ?Sized>(rng: &mut R, w: f64, s: f64) -> f64 {
+    assert!(
+        s >= 0.0 && s.is_finite(),
+        "perturbation scale must be finite and non-negative"
+    );
+    if s == 0.0 {
+        return w;
+    }
+    w * (s * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, 3.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        let expected = 3.0f64.exp();
+        assert!((median / expected - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rough frequency check: rank 0 should get about 1/H(100) ~ 19%.
+        let f0 = counts[0] as f64 / 50_000.0;
+        assert!((f0 - 0.192).abs() < 0.02, "f0 {f0}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 100_000.0;
+            assert!((f - 0.1).abs() < 0.01, "f {f}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let z = Zipf::new(1, 2.0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn perturb_weight_identity_at_zero_scale() {
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(perturb_weight(&mut rng, 123.0, 0.0), 123.0);
+    }
+
+    #[test]
+    fn perturb_weight_stays_positive_and_centered() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 20_000;
+        let w = 100.0;
+        let samples: Vec<f64> = (0..n).map(|_| perturb_weight(&mut rng, w, 0.1)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        // Median multiplier is 1.0, so the sample median should be close to w.
+        let mut s = samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[n / 2];
+        assert!((median / w - 1.0).abs() < 0.02, "median {median}");
+        // s = 0.1 keeps weights within ~±50% essentially always.
+        assert!(samples.iter().all(|&x| x > w * 0.5 && x < w * 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn normal_rejects_negative_sigma() {
+        let mut rng = StdRng::seed_from_u64(1);
+        normal(&mut rng, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The §6 pair database `D(p, {r, s})` for set-associative caches.
+//!
+//! In a 2-way set-associative LRU cache a block `p` is only displaced when
+//! **two** distinct blocks mapping to its set intervene between consecutive
+//! references to `p`. The paper therefore replaces the pairwise `TRG_place`
+//! with a database recording, for each block `p`, how often each *pair*
+//! `{r, s}` of blocks appeared between consecutive references to `p`.
+
+use std::collections::hash_map;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Key of one association: the focal block and an unordered pair of
+/// intervening blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PairKey {
+    /// The block whose reuse is destroyed.
+    pub p: u32,
+    /// Smaller intervening block.
+    pub r: u32,
+    /// Larger intervening block.
+    pub s: u32,
+}
+
+impl PairKey {
+    /// Canonicalizes `(p, {r, s})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == s` (a pair must be two *distinct* blocks) or if `p`
+    /// equals `r` or `s`.
+    pub fn new(p: u32, r: u32, s: u32) -> Self {
+        assert_ne!(r, s, "intervening pair must be distinct blocks");
+        assert!(p != r && p != s, "focal block cannot intervene on itself");
+        let (r, s) = if r < s { (r, s) } else { (s, r) };
+        PairKey { p, r, s }
+    }
+}
+
+/// The association database `D(p, {r, s})`.
+///
+/// Built by the [`Profiler`](crate::Profiler) when
+/// [`with_pair_db`](crate::Profiler::with_pair_db) is enabled; consumed by
+/// the set-associative GBSC cost metric.
+#[derive(Clone, Default)]
+pub struct PairDb {
+    counts: HashMap<PairKey, f64>,
+    /// For each focal block, the keys it participates in (indices are
+    /// rebuilt lazily on first query after mutation).
+    by_focal: HashMap<u32, Vec<PairKey>>,
+    index_dirty: bool,
+}
+
+impl PairDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        PairDb::default()
+    }
+
+    /// Adds `w` to the association `(p, {r, s})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == s` or `p ∈ {r, s}`.
+    pub fn add(&mut self, p: u32, r: u32, s: u32, w: f64) {
+        *self.counts.entry(PairKey::new(p, r, s)).or_insert(0.0) += w;
+        self.index_dirty = true;
+    }
+
+    /// The recorded frequency of `(p, {r, s})`, or 0.
+    pub fn get(&self, p: u32, r: u32, s: u32) -> f64 {
+        if r == s || p == r || p == s {
+            return 0.0;
+        }
+        self.counts
+            .get(&PairKey::new(p, r, s))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Number of distinct associations recorded.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if no associations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over all `(key, weight)` associations in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PairKey, f64)> + '_ {
+        self.counts.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// All associations whose focal block is `p`, in sorted key order.
+    ///
+    /// Rebuilds the focal index if the database changed since the last
+    /// query; amortized cost is one pass over the database.
+    pub fn by_focal(&mut self, p: u32) -> &[PairKey] {
+        if self.index_dirty {
+            self.by_focal.clear();
+            for key in self.counts.keys() {
+                self.by_focal.entry(key.p).or_default().push(*key);
+            }
+            for keys in self.by_focal.values_mut() {
+                keys.sort();
+            }
+            self.index_dirty = false;
+        }
+        match self.by_focal.entry(p) {
+            hash_map::Entry::Occupied(e) => e.into_mut().as_slice(),
+            hash_map::Entry::Vacant(_) => &[],
+        }
+    }
+
+    /// Total weight across all associations.
+    pub fn total_weight(&self) -> f64 {
+        self.counts.values().sum()
+    }
+}
+
+impl fmt::Debug for PairDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PairDb({} associations, total weight {})",
+            self.counts.len(),
+            self.total_weight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_canonicalizes_pair_order() {
+        assert_eq!(PairKey::new(0, 5, 2), PairKey::new(0, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct blocks")]
+    fn key_rejects_equal_pair() {
+        PairKey::new(0, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "intervene on itself")]
+    fn key_rejects_focal_in_pair() {
+        PairKey::new(3, 3, 4);
+    }
+
+    #[test]
+    fn add_and_get_accumulate() {
+        let mut db = PairDb::new();
+        db.add(0, 1, 2, 1.0);
+        db.add(0, 2, 1, 2.5); // same association, swapped
+        assert_eq!(db.get(0, 1, 2), 3.5);
+        assert_eq!(db.get(0, 2, 1), 3.5);
+        assert_eq!(db.get(1, 0, 2), 0.0);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_weight(), 3.5);
+    }
+
+    #[test]
+    fn get_is_zero_for_degenerate_queries() {
+        let db = PairDb::new();
+        assert_eq!(db.get(0, 1, 1), 0.0);
+        assert_eq!(db.get(0, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn by_focal_lists_sorted_keys() {
+        let mut db = PairDb::new();
+        db.add(7, 3, 9, 1.0);
+        db.add(7, 1, 2, 1.0);
+        db.add(8, 1, 2, 1.0);
+        let keys = db.by_focal(7).to_vec();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0], PairKey::new(7, 1, 2));
+        assert_eq!(keys[1], PairKey::new(7, 3, 9));
+        assert!(db.by_focal(99).is_empty());
+        // Index refreshes after mutation.
+        db.add(7, 5, 6, 1.0);
+        assert_eq!(db.by_focal(7).len(), 3);
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let mut db = PairDb::new();
+        db.add(0, 1, 2, 1.0);
+        db.add(3, 4, 5, 2.0);
+        let total: f64 = db.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, 3.0);
+        assert_eq!(db.iter().count(), 2);
+    }
+}

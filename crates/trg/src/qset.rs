@@ -1,0 +1,363 @@
+//! The bounded ordered set `Q` of recently referenced code blocks (§3).
+//!
+//! `Q` holds the most recent reference to each code block, ordered by trace
+//! position. A block falls out of `Q` when so much *unique* code has been
+//! referenced since its last occurrence that it would have been evicted from
+//! the cache for capacity reasons anyway — the paper bounds this at **twice
+//! the cache size** and reports that the bound "works quite well".
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// The outcome of processing one code-block reference through the Q-set.
+///
+/// `interleaved` lists the (distinct, live) code blocks that occurred
+/// between this reference and the previous reference to the same block —
+/// exactly the blocks whose TRG edge weights the paper increments. It is
+/// empty when the block had no previous occurrence in `Q` (either never
+/// referenced, or already aged out), in which case the TRG is not modified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QSetEvent {
+    /// `true` if a previous reference to the block was still in `Q`.
+    pub had_previous: bool,
+    /// Blocks found between the two references, most recent first.
+    pub interleaved: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    id: u32,
+    size: u32,
+    seq: u64,
+}
+
+/// The ordered set of recently referenced code blocks.
+///
+/// Ids are dense `u32` code-block identifiers (procedure indices or global
+/// chunk indices); sizes are bytes. The structure keeps only the most
+/// recent reference to each id and evicts the oldest ids while the
+/// remaining total size stays at or above the capacity bound, mirroring the
+/// maintenance rule of §3 exactly.
+///
+/// # Example
+///
+/// ```
+/// use tempo_trg::QSet;
+/// let mut q = QSet::new(16_384); // bound = 2 * 8 KB cache
+/// q.process(0, 512);
+/// q.process(1, 256);
+/// let ev = q.process(0, 512);
+/// assert!(ev.had_previous);
+/// assert_eq!(ev.interleaved, vec![1]);
+/// ```
+#[derive(Clone)]
+pub struct QSet {
+    bound: u64,
+    /// Live + stale slots, oldest first. Stale slots (superseded references)
+    /// are skipped lazily.
+    slots: VecDeque<Slot>,
+    /// id -> seq of its live slot.
+    index: HashMap<u32, u64>,
+    /// Total size of live slots.
+    live_size: u64,
+    next_seq: u64,
+    /// Occupancy accounting for average-Q-size reporting (Table 1).
+    occupancy_sum: u64,
+    occupancy_samples: u64,
+    occupancy_max: usize,
+}
+
+impl QSet {
+    /// Creates a Q-set whose total live size is bounded (from below, per the
+    /// eviction rule) by `bound` bytes. Use twice the target cache size, as
+    /// the paper recommends.
+    pub fn new(bound: u64) -> Self {
+        QSet {
+            bound,
+            slots: VecDeque::new(),
+            index: HashMap::new(),
+            live_size: 0,
+            next_seq: 0,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+            occupancy_max: 0,
+        }
+    }
+
+    /// The capacity bound in bytes.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Number of live entries currently in `Q`.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns `true` if `Q` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total size in bytes of the live entries.
+    pub fn live_size(&self) -> u64 {
+        self.live_size
+    }
+
+    /// Returns `true` if the block currently has a live entry.
+    pub fn contains(&self, id: u32) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Live entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| self.index.get(&s.id) == Some(&s.seq))
+            .map(|s| s.id)
+    }
+
+    /// Processes the next code-block reference from the trace: appends the
+    /// block at the most-recent end, reports the blocks interleaved since
+    /// its previous reference (if any), and performs the maintenance rule.
+    ///
+    /// The returned event drives TRG construction: for each id in
+    /// `interleaved`, increment the TRG edge `{id, current}` by one.
+    pub fn process(&mut self, id: u32, size: u32) -> QSetEvent {
+        let prev_seq = self.index.get(&id).copied();
+
+        // Analysis: collect live blocks newer than the previous reference.
+        let mut interleaved = Vec::new();
+        if let Some(prev) = prev_seq {
+            for slot in self.slots.iter().rev() {
+                if slot.seq <= prev {
+                    break;
+                }
+                if self.index.get(&slot.id) == Some(&slot.seq) {
+                    interleaved.push(slot.id);
+                }
+            }
+        }
+
+        // Supersede any previous reference (it becomes stale in `slots`).
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.index.entry(id) {
+            Entry::Occupied(mut e) => {
+                e.insert(seq);
+                // live_size unchanged: same id, same size.
+            }
+            Entry::Vacant(e) => {
+                e.insert(seq);
+                self.live_size += u64::from(size);
+            }
+        }
+        self.slots.push_back(Slot { id, size, seq });
+
+        // Maintenance: drop stale slots at the front for free; evict the
+        // oldest live id while the rest still meets the bound.
+        while let Some(front) = self.slots.front().copied() {
+            if self.index.get(&front.id) != Some(&front.seq) {
+                self.slots.pop_front(); // stale
+                continue;
+            }
+            if front.seq == seq {
+                break; // never evict the reference just processed
+            }
+            if self.live_size - u64::from(front.size) >= self.bound {
+                self.slots.pop_front();
+                self.index.remove(&front.id);
+                self.live_size -= u64::from(front.size);
+            } else {
+                break;
+            }
+        }
+
+        // Occupancy sample (after maintenance), for Table 1 reporting.
+        self.occupancy_sum += self.index.len() as u64;
+        self.occupancy_samples += 1;
+        self.occupancy_max = self.occupancy_max.max(self.index.len());
+
+        QSetEvent {
+            had_previous: prev_seq.is_some(),
+            interleaved,
+        }
+    }
+
+    /// Average number of live entries observed after each processing step.
+    pub fn average_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// Maximum number of live entries observed.
+    pub fn max_occupancy(&self) -> usize {
+        self.occupancy_max
+    }
+}
+
+impl fmt::Debug for QSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QSet({} live entries, {} bytes, bound {})",
+            self.len(),
+            self.live_size,
+            self.bound
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reference_has_no_previous() {
+        let mut q = QSet::new(1000);
+        let ev = q.process(7, 100);
+        assert!(!ev.had_previous);
+        assert!(ev.interleaved.is_empty());
+        assert!(q.contains(7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.live_size(), 100);
+    }
+
+    #[test]
+    fn interleaved_blocks_are_reported_most_recent_first() {
+        let mut q = QSet::new(10_000);
+        q.process(0, 10);
+        q.process(1, 10);
+        q.process(2, 10);
+        let ev = q.process(0, 10);
+        assert!(ev.had_previous);
+        assert_eq!(ev.interleaved, vec![2, 1]);
+    }
+
+    #[test]
+    fn only_latest_reference_is_kept() {
+        let mut q = QSet::new(10_000);
+        q.process(0, 10);
+        q.process(1, 10);
+        q.process(0, 10); // supersedes the first 0
+        q.process(2, 10);
+        let ev = q.process(0, 10);
+        // Between the *latest* two references to 0: only 2 (1 is older).
+        assert_eq!(ev.interleaved, vec![2]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn paper_figure_3_walkthrough() {
+        // Trace #2 prefix: M X M X ... with M=0, X=1, then Z=2.
+        let mut q = QSet::new(10_000);
+        q.process(0, 100); // M
+        q.process(1, 100); // X
+        let ev = q.process(0, 100); // M again: X interleaves (Fig. 3a)
+        assert_eq!(ev.interleaved, vec![1]);
+        let ev = q.process(2, 100); // Z: no previous (Fig. 3b)
+        assert!(!ev.had_previous);
+        let ev = q.process(0, 100); // M: Z interleaves (Fig. 3c)
+        assert_eq!(ev.interleaved, vec![2]);
+        // Fig. 3d: processing X now sees M and Z since X's last reference.
+        let ev = q.process(1, 100);
+        assert!(ev.had_previous);
+        assert_eq!(ev.interleaved, vec![0, 2]);
+    }
+
+    #[test]
+    fn capacity_eviction_keeps_at_least_bound() {
+        let mut q = QSet::new(250);
+        q.process(0, 100);
+        q.process(1, 100);
+        q.process(2, 100); // 300 live; 300-100 < 250 -> keep all
+        assert_eq!(q.len(), 3);
+        q.process(3, 100); // 400 live; evict 0 (300 >= 250), then stop (200 < 250)
+        assert_eq!(q.len(), 3);
+        assert!(!q.contains(0));
+        assert_eq!(q.live_size(), 300);
+    }
+
+    #[test]
+    fn evicted_block_loses_its_history() {
+        let mut q = QSet::new(100);
+        q.process(0, 100);
+        q.process(1, 100); // evicts 0: 200-100 >= 100
+        assert!(!q.contains(0));
+        let ev = q.process(0, 100);
+        assert!(!ev.had_previous, "aged-out block must look new");
+    }
+
+    #[test]
+    fn refreshing_prevents_eviction() {
+        let mut q = QSet::new(250);
+        q.process(0, 100);
+        q.process(1, 100);
+        q.process(0, 100); // 0 is now most recent
+        q.process(2, 100);
+        q.process(3, 100); // evictions hit 1 first, not 0
+        assert!(q.contains(0));
+        assert!(!q.contains(1));
+    }
+
+    #[test]
+    fn entries_iterate_oldest_first_without_stale() {
+        let mut q = QSet::new(10_000);
+        q.process(0, 10);
+        q.process(1, 10);
+        q.process(0, 10);
+        let order: Vec<u32> = q.entries().collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn occupancy_stats_track_live_entries() {
+        let mut q = QSet::new(10_000);
+        assert_eq!(q.average_occupancy(), 0.0);
+        q.process(0, 10); // 1 live
+        q.process(1, 10); // 2 live
+        q.process(0, 10); // 2 live
+        assert_eq!(q.max_occupancy(), 2);
+        let avg = q.average_occupancy();
+        assert!((avg - (1.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_excludes_stale_duplicates() {
+        let mut q = QSet::new(10_000);
+        q.process(0, 10);
+        q.process(1, 10);
+        q.process(1, 10); // stale slot for 1 remains internally
+        let ev = q.process(0, 10);
+        assert_eq!(ev.interleaved, vec![1], "1 must be reported once");
+    }
+
+    #[test]
+    fn zero_bound_keeps_only_current() {
+        // Degenerate bound: everything else is evicted immediately.
+        let mut q = QSet::new(0);
+        q.process(0, 10);
+        assert_eq!(q.len(), 1); // can't evict below one entry... bound 0 evicts all but current
+        q.process(1, 10);
+        assert!(!q.contains(0));
+        let ev = q.process(0, 10);
+        assert!(!ev.had_previous);
+    }
+
+    #[test]
+    fn single_block_repeated() {
+        let mut q = QSet::new(100);
+        q.process(5, 50);
+        for _ in 0..10 {
+            let ev = q.process(5, 50);
+            assert!(ev.had_previous);
+            assert!(ev.interleaved.is_empty());
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.live_size(), 50);
+    }
+}

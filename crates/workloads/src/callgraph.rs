@@ -1,0 +1,358 @@
+//! User-defined call-graph workloads.
+//!
+//! The [`suite`](crate::suite) models are parametric; this module exposes
+//! the underlying idea — a weighted call graph with phase-modulated call
+//! sites, executed by a stack-based random walk — as a direct building
+//! API, so studies can construct exactly the temporal structure they want
+//! (e.g. the paper's Figure 1 program, WCG-invisible sibling conflicts,
+//! pathological phase patterns).
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_workloads::callgraph::CallGraphBuilder;
+//!
+//! // The paper's Figure 1: M calls X or Y (phase-dependent) and Z.
+//! let mut b = CallGraphBuilder::new();
+//! let m = b.procedure("M", 672);
+//! let x = b.procedure("X", 672);
+//! let y = b.procedure("Y", 672);
+//! let z = b.procedure("Z", 672);
+//! b.call_site(m, x, 1.0);
+//! b.call_site(m, y, 1.0);
+//! b.call_site(m, z, 0.25);
+//! b.root(m);
+//! // Phase 0 runs X, phase 1 runs Y (the paper's trace #2 shape).
+//! b.phase(40, &[(m, x, 2.0), (m, y, 0.0)]);
+//! b.phase(40, &[(m, x, 0.0), (m, y, 2.0)]);
+//! let workload = b.build()?;
+//! let trace = workload.trace(7, 500);
+//! assert_eq!(trace.len(), 500);
+//! trace.validate(workload.program()).unwrap();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_program::{ProcId, Program, ProgramError};
+use tempo_trace::{Trace, TraceBuilder};
+
+/// One call site: `caller` invokes `callee` an average of `weight` times
+/// per invocation of the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Site {
+    callee: ProcId,
+    weight: f64,
+}
+
+/// One execution phase: a dwell (in root invocations) plus multiplicative
+/// overrides of call-site weights.
+#[derive(Debug, Clone, PartialEq)]
+struct Phase {
+    dwell: u32,
+    /// `(caller, callee, multiplier)` — multiplies the matching site's
+    /// weight while the phase is active.
+    multipliers: Vec<(ProcId, ProcId, f64)>,
+}
+
+/// Builder for a [`CallGraphWorkload`].
+#[derive(Debug, Clone, Default)]
+pub struct CallGraphBuilder {
+    procs: Vec<(String, u32)>,
+    sites: Vec<Vec<Site>>,
+    root: Option<ProcId>,
+    phases: Vec<Phase>,
+}
+
+impl CallGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CallGraphBuilder::default()
+    }
+
+    /// Declares a procedure; returns its id.
+    pub fn procedure(&mut self, name: impl Into<String>, size: u32) -> ProcId {
+        self.procs.push((name.into(), size));
+        self.sites.push(Vec::new());
+        ProcId::new(self.procs.len() as u32 - 1)
+    }
+
+    /// Adds a call site: `caller` invokes `callee` an average of `weight`
+    /// times per invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is unknown, `caller == callee` (direct
+    /// recursion is not modeled), or `weight` is negative or not finite.
+    pub fn call_site(&mut self, caller: ProcId, callee: ProcId, weight: f64) -> &mut Self {
+        assert!(caller.as_usize() < self.procs.len(), "unknown caller");
+        assert!(callee.as_usize() < self.procs.len(), "unknown callee");
+        assert_ne!(caller, callee, "direct recursion is not modeled");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be finite and non-negative"
+        );
+        self.sites[caller.as_usize()].push(Site { callee, weight });
+        self
+    }
+
+    /// Sets the root (the procedure the executor repeatedly invokes).
+    pub fn root(&mut self, root: ProcId) -> &mut Self {
+        self.root = Some(root);
+        self
+    }
+
+    /// Appends a phase: for `dwell` root invocations, each `(caller,
+    /// callee, multiplier)` entry scales the matching call site's weight.
+    /// Phases cycle in declaration order; with no phases the base weights
+    /// apply throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell` is zero or a multiplier is negative/not finite.
+    pub fn phase(&mut self, dwell: u32, multipliers: &[(ProcId, ProcId, f64)]) -> &mut Self {
+        assert!(dwell > 0, "phase dwell must be positive");
+        for &(_, _, m) in multipliers {
+            assert!(
+                m >= 0.0 && m.is_finite(),
+                "multiplier must be finite and non-negative"
+            );
+        }
+        self.phases.push(Phase {
+            dwell,
+            multipliers: multipliers.to_vec(),
+        });
+        self
+    }
+
+    /// Finalizes the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program is invalid (no procedures, zero
+    /// sizes, duplicate names) or no root was set.
+    pub fn build(&self) -> Result<CallGraphWorkload, ProgramError> {
+        let mut b = Program::builder();
+        for (name, size) in &self.procs {
+            b.procedure(name.clone(), *size);
+        }
+        let program = b.build()?;
+        let root = self.root.ok_or(ProgramError::Empty)?;
+        Ok(CallGraphWorkload {
+            program,
+            sites: self.sites.clone(),
+            root,
+            phases: self.phases.clone(),
+        })
+    }
+}
+
+/// An executable user-defined call-graph workload.
+#[derive(Debug, Clone)]
+pub struct CallGraphWorkload {
+    program: Program,
+    sites: Vec<Vec<Site>>,
+    root: ProcId,
+    phases: Vec<Phase>,
+}
+
+impl CallGraphWorkload {
+    /// The synthesized program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The root procedure.
+    pub fn root(&self) -> ProcId {
+        self.root
+    }
+
+    /// Effective weight of a call site in a phase.
+    fn weight_in_phase(&self, caller: ProcId, site: &Site, phase: Option<&Phase>) -> f64 {
+        let mut w = site.weight;
+        if let Some(p) = phase {
+            for &(c, e, m) in &p.multipliers {
+                if c == caller && e == site.callee {
+                    w *= m;
+                }
+            }
+        }
+        w
+    }
+
+    /// Generates a trace of exactly `len` records with the given seed.
+    ///
+    /// The walk is depth-bounded at 32 frames; every transition (call and
+    /// return) emits one record whose extent divides the procedure evenly
+    /// among its segments.
+    pub fn trace(&self, seed: u64, len: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = TraceBuilder::with_capacity(&self.program, len + 64);
+        let mut phase_idx = 0usize;
+        let mut dwell_left = self.phases.first().map_or(0, |p| p.dwell);
+        while out.len() < len {
+            let phase = self.phases.get(phase_idx);
+            self.invoke(self.root, phase, 0, &mut rng, &mut out, len);
+            if !self.phases.is_empty() {
+                dwell_left = dwell_left.saturating_sub(1);
+                if dwell_left == 0 {
+                    phase_idx = (phase_idx + 1) % self.phases.len();
+                    dwell_left = self.phases[phase_idx].dwell;
+                }
+            }
+        }
+        Trace::from_records(out.build().into_iter().take(len).collect())
+    }
+
+    fn invoke(
+        &self,
+        proc: ProcId,
+        phase: Option<&Phase>,
+        depth: u32,
+        rng: &mut StdRng,
+        out: &mut TraceBuilder<'_>,
+        len: usize,
+    ) {
+        if out.len() >= len {
+            return;
+        }
+        // Decide the fired calls first so segment extents can be sized.
+        let mut fired: Vec<ProcId> = Vec::new();
+        if depth < 32 {
+            for site in &self.sites[proc.as_usize()] {
+                let w = self.weight_in_phase(proc, site, phase);
+                let mut count = w.floor() as u32;
+                if rng.gen_bool((w - f64::from(count)).clamp(0.0, 1.0)) {
+                    count += 1;
+                }
+                for _ in 0..count {
+                    fired.push(site.callee);
+                }
+            }
+        }
+        let segments = fired.len() as u32 + 1;
+        let seg = (self.program.size_of(proc) / segments).max(1);
+        out.transition(proc, seg);
+        for callee in fired {
+            if out.len() >= len {
+                return;
+            }
+            self.invoke(callee, phase, depth + 1, rng, out, len);
+            out.transition(proc, seg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_cache::CacheConfig;
+    use tempo_trg::{PopularitySelector, Profiler};
+
+    fn figure1() -> CallGraphWorkload {
+        let mut b = CallGraphBuilder::new();
+        let m = b.procedure("M", 672);
+        let x = b.procedure("X", 672);
+        let y = b.procedure("Y", 672);
+        let z = b.procedure("Z", 672);
+        b.call_site(m, x, 1.0);
+        b.call_site(m, y, 1.0);
+        b.call_site(m, z, 0.25);
+        b.root(m);
+        b.phase(40, &[(m, x, 2.0), (m, y, 0.0)]);
+        b.phase(40, &[(m, x, 0.0), (m, y, 2.0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_valid_program_and_traces() {
+        let w = figure1();
+        assert_eq!(w.program().len(), 4);
+        assert_eq!(w.root(), ProcId::new(0));
+        let t = w.trace(1, 1_000);
+        assert_eq!(t.len(), 1_000);
+        t.validate(w.program()).unwrap();
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let w = figure1();
+        assert_eq!(w.trace(5, 500), w.trace(5, 500));
+        assert_ne!(w.trace(5, 500), w.trace(6, 500));
+    }
+
+    #[test]
+    fn phases_suppress_and_boost_callees() {
+        let w = figure1();
+        let t = w.trace(2, 4_000);
+        let counts = t.reference_counts(w.program());
+        // Both X and Y run (phases alternate), Z runs but rarely.
+        assert!(counts[1] > 0 && counts[2] > 0);
+        assert!(counts[3] > 0);
+        assert!(counts[3] < counts[1] / 2);
+        // Phase structure: X and Y never interleave, so their TRG edge is
+        // (almost) absent while both keep strong edges to M.
+        let prof = Profiler::new(w.program(), CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&t);
+        let xy = prof.trg_select.weight(1, 2);
+        let mx = prof.trg_select.weight(0, 1);
+        assert!(xy < mx / 20.0, "xy {xy} mx {mx}");
+        assert_eq!(prof.wcg.weight(1, 2), 0.0, "siblings never adjacent");
+    }
+
+    #[test]
+    fn no_phases_means_stationary_mix() {
+        let mut b = CallGraphBuilder::new();
+        let root = b.procedure("r", 256);
+        let a = b.procedure("a", 256);
+        let c = b.procedure("c", 256);
+        b.call_site(root, a, 2.0);
+        b.call_site(root, c, 1.0);
+        b.root(root);
+        let w = b.build().unwrap();
+        let t = w.trace(3, 6_000);
+        let counts = t.reference_counts(w.program());
+        let ratio = counts[a.as_usize()] as f64 / counts[c.as_usize()] as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn nested_graphs_respect_depth() {
+        // A deep chain; the depth cap keeps the walk finite.
+        let mut b = CallGraphBuilder::new();
+        let ids: Vec<ProcId> = (0..40).map(|i| b.procedure(format!("p{i}"), 64)).collect();
+        for w in ids.windows(2) {
+            b.call_site(w[0], w[1], 1.0);
+        }
+        b.root(ids[0]);
+        let w = b.build().unwrap();
+        let t = w.trace(1, 2_000);
+        t.validate(w.program()).unwrap();
+        let counts = t.reference_counts(w.program());
+        assert_eq!(counts[33], 0, "depth cap at 32 frames");
+    }
+
+    #[test]
+    fn build_requires_root() {
+        let mut b = CallGraphBuilder::new();
+        b.procedure("only", 64);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "direct recursion")]
+    fn rejects_self_call() {
+        let mut b = CallGraphBuilder::new();
+        let p = b.procedure("p", 64);
+        b.call_site(p, p, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown callee")]
+    fn rejects_unknown_ids() {
+        let mut b = CallGraphBuilder::new();
+        let p = b.procedure("p", 64);
+        b.call_site(p, ProcId::new(9), 1.0);
+    }
+}

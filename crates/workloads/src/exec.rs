@@ -1,0 +1,316 @@
+//! The trace executor: a stack-shaped random walk over a benchmark model.
+//!
+//! Each root invocation descends dispatcher → phase driver → hot leaves
+//! (→ shared utilities), emitting a trace record at **every** control-flow
+//! transition into a procedure — both calls and returns — exactly the event
+//! stream the paper's profiling consumes. Phase dwell creates the
+//! long-range temporal structure (working sets that rotate over the hot
+//! set) that distinguishes a TRG from a WCG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_program::ProcId;
+use tempo_trace::stats::Zipf;
+use tempo_trace::{Trace, TraceBuilder};
+
+use crate::{BenchmarkModel, InputSpec};
+
+/// Generates traces from a [`BenchmarkModel`] under an [`InputSpec`].
+///
+/// # Example
+///
+/// ```
+/// use tempo_workloads::{suite, Executor};
+/// let model = suite::perl();
+/// let trace = Executor::new(&model, model.training_input()).generate(1_000);
+/// assert_eq!(trace.len(), 1_000);
+/// ```
+#[derive(Debug)]
+pub struct Executor<'m> {
+    model: &'m BenchmarkModel,
+    input: InputSpec,
+    rng: StdRng,
+    phase: usize,
+    dwell_left: u32,
+    zipf: Zipf,
+}
+
+impl<'m> Executor<'m> {
+    /// Creates an executor positioned at the start of the first phase.
+    pub fn new(model: &'m BenchmarkModel, input: InputSpec) -> Self {
+        let spec = model.spec();
+        let skew = (spec.skew + input.skew_delta).max(0.0);
+        let zipf = Zipf::new(spec.phase_window.min(model.hot_leaves().len()), skew);
+        let mut rng = StdRng::seed_from_u64(input.seed);
+        let dwell_left = sample_dwell(&mut rng, spec.phase_dwell, input.dwell_factor);
+        Executor {
+            model,
+            input,
+            rng,
+            phase: 0,
+            dwell_left,
+            zipf,
+        }
+    }
+
+    /// Generates a trace of exactly `len` records.
+    pub fn generate(&mut self, len: usize) -> Trace {
+        let program = self.model.program();
+        let mut out = TraceBuilder::with_capacity(program, len + 64);
+        while out.len() < len {
+            self.invoke_root(&mut out);
+        }
+        let mut trace = std::mem::replace(&mut out, TraceBuilder::new(program)).build();
+        trace = Trace::from_records(trace.into_iter().take(len).collect());
+        trace
+    }
+
+    /// One root invocation: dispatcher → driver → leaves.
+    fn invoke_root(&mut self, out: &mut TraceBuilder<'_>) {
+        let spec = self.model.spec();
+        let program = self.model.program();
+        let dispatcher = self.model.dispatcher();
+        let drivers = self.model.drivers();
+        let window = self.model.phase_window(self.phase, &self.input);
+
+        out.full(dispatcher);
+
+        let driver = drivers[self.phase];
+        let driver_size = self.model.hot_prefix(driver);
+        // Calls this driver invocation makes: roughly `fanout` on average.
+        let calls = sample_fanout(&mut self.rng, spec.fanout);
+        let seg = (driver_size / (calls + 2)).max(1);
+        out.transition(driver, seg);
+
+        for _ in 0..calls {
+            let cold_p = spec.cold_call_rate * self.input.cold_factor;
+            if !self.model.cold().is_empty() && self.rng.gen_bool(cold_p.clamp(0.0, 1.0)) {
+                // Rare excursion into the cold tail.
+                let c = self.model.cold()[self.rng.gen_range(0..self.model.cold().len())];
+                // Cold procedures run a bounded prefix (they are often
+                // error paths / one-off handlers, not whole-body loops).
+                let bytes = program.size_of(c).min(1024);
+                out.transition(c, bytes);
+            } else {
+                let leaf = window[self.zipf.sample(&mut self.rng)];
+                self.invoke_leaf(out, leaf);
+            }
+            // Return to the driver: the code after the call site runs.
+            out.transition(driver, seg);
+        }
+
+        // Return to the dispatcher.
+        out.transition(dispatcher, 96);
+
+        self.advance_phase();
+    }
+
+    /// One hot-leaf invocation, possibly nesting into a shared utility.
+    fn invoke_leaf(&mut self, out: &mut TraceBuilder<'_>, leaf: ProcId) {
+        let spec = self.model.spec();
+        let utilities = self.model.utilities();
+        // Typical invocations run the hot prefix; every ~20th runs the
+        // whole body (a cold branch inside the procedure).
+        let size = if self.rng.gen_bool(0.05) {
+            self.model.program().size_of(leaf)
+        } else {
+            self.model.hot_prefix(leaf)
+        };
+        let nested = !utilities.is_empty() && self.rng.gen_bool(spec.nested_call_rate) && size > 64;
+        if nested {
+            out.transition(leaf, (size * 3 / 5).max(1));
+            let util = utilities[self.rng.gen_range(0..utilities.len())];
+            if util != leaf {
+                let ub = self.model.hot_prefix(util);
+                out.transition(util, ub);
+                out.transition(leaf, (size * 2 / 5).max(1));
+            }
+        } else {
+            out.transition(leaf, size);
+        }
+    }
+
+    /// Consumes one invocation of phase dwell, rotating to the next phase
+    /// when exhausted (with an occasional random jump).
+    fn advance_phase(&mut self) {
+        let spec = self.model.spec();
+        if self.dwell_left > 0 {
+            self.dwell_left -= 1;
+            return;
+        }
+        self.phase = if spec.phases > 1 && self.rng.gen_bool(0.15) {
+            self.rng.gen_range(0..spec.phases)
+        } else {
+            (self.phase + 1) % spec.phases
+        };
+        self.dwell_left = sample_dwell(&mut self.rng, spec.phase_dwell, self.input.dwell_factor);
+    }
+}
+
+/// Geometric-ish dwell with the given mean (at least 1).
+fn sample_dwell(rng: &mut StdRng, mean: u32, factor: f64) -> u32 {
+    let mean = (f64::from(mean) * factor).max(1.0);
+    // Exponential with the requested mean, discretized.
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    ((-u.ln()) * mean).round().max(1.0) as u32
+}
+
+/// Number of calls a driver makes in one invocation: mean `fanout`,
+/// clamped into `1..=24`.
+fn sample_fanout(rng: &mut StdRng, fanout: f64) -> u32 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    (((-u.ln()) * fanout).round() as u32).clamp(1, 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+    use tempo_cache::CacheConfig;
+    use tempo_trg::{PopularitySelector, Profiler};
+
+    fn model() -> BenchmarkModel {
+        BenchmarkModel::build(
+            WorkloadSpec {
+                name: "mini",
+                proc_count: 80,
+                total_size: 400_000,
+                hot_count: 20,
+                hot_size: 80_000,
+                phases: 4,
+                phase_window: 6,
+                phase_dwell: 60,
+                fanout: 4.0,
+                skew: 0.7,
+                cold_call_rate: 0.02,
+                nested_call_rate: 0.25,
+                build_seed: 7,
+            },
+            InputSpec::new(11),
+            InputSpec::new(22),
+        )
+    }
+
+    #[test]
+    fn generates_exact_length_valid_traces() {
+        let m = model();
+        let t = m.training_trace(10_000);
+        assert_eq!(t.len(), 10_000);
+        t.validate(m.program()).unwrap();
+    }
+
+    #[test]
+    fn hot_procedures_dominate_references() {
+        let m = model();
+        let t = m.training_trace(30_000);
+        let counts = t.reference_counts(m.program());
+        let mut hot_ids = vec![m.dispatcher()];
+        hot_ids.extend_from_slice(m.drivers());
+        hot_ids.extend_from_slice(m.hot_leaves());
+        let hot: u64 = hot_ids.iter().map(|id| counts[id.as_usize()]).sum();
+        let total: u64 = counts.iter().sum();
+        assert!(
+            hot as f64 / total as f64 > 0.95,
+            "hot fraction {}",
+            hot as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn popularity_selection_finds_roughly_the_hot_set() {
+        let m = model();
+        let t = m.training_trace(60_000);
+        let set = PopularitySelector::default_policy().select(m.program(), &t);
+        let picked = set.count();
+        assert!(
+            (12..=34).contains(&picked),
+            "picked {picked}, expected near {}",
+            m.spec().hot_count
+        );
+    }
+
+    #[test]
+    fn phases_create_sibling_trg_edges_missing_from_wcg() {
+        let m = model();
+        let t = m.training_trace(60_000);
+        let prof = Profiler::new(m.program(), CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&t);
+        // Count popular leaf pairs that have a TRG edge but no WCG edge:
+        // these are the sibling relations the paper's Figure 1 motivates.
+        let leaves = m.hot_leaves();
+        let mut sibling_only = 0usize;
+        for i in 0..leaves.len() {
+            for j in (i + 1)..leaves.len() {
+                let (a, b) = (leaves[i].index(), leaves[j].index());
+                if prof.trg_select.weight(a, b) > 10.0 && prof.wcg.weight(a, b) == 0.0 {
+                    sibling_only += 1;
+                }
+            }
+        }
+        assert!(
+            sibling_only >= 5,
+            "expected WCG-invisible sibling pairs, found {sibling_only}"
+        );
+    }
+
+    #[test]
+    fn phase_rotation_shifts_working_sets() {
+        let m = model();
+        // Long trace so every phase is visited.
+        let t = m.training_trace(80_000);
+        let counts = t.reference_counts(m.program());
+        // Every hot leaf should be touched eventually.
+        let untouched = m
+            .hot_leaves()
+            .iter()
+            .filter(|l| counts[l.as_usize()] == 0)
+            .count();
+        assert_eq!(untouched, 0, "{untouched} hot leaves never ran");
+    }
+
+    #[test]
+    fn cold_calls_happen_but_rarely() {
+        let m = model();
+        let t = m.training_trace(50_000);
+        let counts = t.reference_counts(m.program());
+        let cold: u64 = m.cold().iter().map(|c| counts[c.as_usize()]).sum();
+        let total: u64 = counts.iter().sum();
+        assert!(cold > 0, "cold tail must appear");
+        assert!((cold as f64 / total as f64) < 0.05);
+    }
+
+    #[test]
+    fn dispatcher_interleaves_with_everything() {
+        let m = model();
+        let t = m.training_trace(20_000);
+        // The dispatcher is referenced twice per root invocation, placing
+        // it among the hottest procedures (drivers can exceed it because
+        // they emit one record per call made).
+        let counts = t.reference_counts(m.program());
+        let mut sorted: Vec<u64> = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let threshold = sorted[m.drivers().len()];
+        assert!(counts[m.dispatcher().as_usize()] >= threshold);
+    }
+
+    #[test]
+    fn different_inputs_different_hot_mixes() {
+        let m = model();
+        let a = m.training_trace(40_000);
+        let mut shifted = m.testing_input();
+        shifted.phase_shift = 3;
+        let b = m.trace(&shifted, 40_000);
+        let ca = a.reference_counts(m.program());
+        let cb = b.reference_counts(m.program());
+        // Reference distributions over hot leaves must differ noticeably.
+        let mut l1 = 0.0;
+        let (ta, tb) = (ca.iter().sum::<u64>() as f64, cb.iter().sum::<u64>() as f64);
+        for l in m.hot_leaves() {
+            let fa = ca[l.as_usize()] as f64 / ta;
+            let fb = cb[l.as_usize()] as f64 / tb;
+            l1 += (fa - fb).abs();
+        }
+        assert!(l1 > 0.05, "hot distributions too similar: l1 {l1}");
+    }
+}

@@ -1,0 +1,358 @@
+//! Deterministic construction of a benchmark's program and call structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_program::{ProcId, Program};
+use tempo_trace::stats::lognormal;
+use tempo_trace::Trace;
+
+use crate::{Executor, InputSpec, WorkloadSpec};
+
+/// A built benchmark: the program, its role assignment (dispatcher, phase
+/// drivers, hot leaves, shared utilities, cold tail), and the training and
+/// testing inputs.
+///
+/// Construction is fully deterministic: the same [`WorkloadSpec`] always
+/// yields the same program and call structure.
+#[derive(Debug, Clone)]
+pub struct BenchmarkModel {
+    spec: WorkloadSpec,
+    program: Program,
+    /// The dispatcher (root) procedure.
+    dispatcher: ProcId,
+    /// The phase drivers, one per phase.
+    drivers: Vec<ProcId>,
+    /// Hot leaf procedures (callees of the phase drivers), in window order.
+    hot_leaves: Vec<ProcId>,
+    /// Shared utilities (subset of hot leaves, also callable from any leaf).
+    utilities: Vec<ProcId>,
+    /// Cold procedures.
+    cold: Vec<ProcId>,
+    /// Hot-prefix length per procedure (bytes executed on a typical
+    /// invocation), indexed by procedure id. Real procedures concentrate
+    /// execution in a hot loop near their entry, not uniformly over their
+    /// body; the executor touches only this prefix most of the time.
+    hot_prefix: Vec<u32>,
+    training: InputSpec,
+    testing: InputSpec,
+}
+
+impl BenchmarkModel {
+    /// Builds the model for a spec, with the given train/test inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn build(spec: WorkloadSpec, training: InputSpec, testing: InputSpec) -> Self {
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(spec.build_seed);
+
+        // Role counts. The dispatcher and the drivers are hot by
+        // construction; the rest of the hot budget goes to leaves.
+        let driver_count = spec.phases;
+        let leaf_count = spec
+            .hot_count
+            .checked_sub(1 + driver_count)
+            .expect("hot_count must exceed phases + 1");
+        assert!(
+            leaf_count >= spec.phase_window,
+            "window larger than hot leaf pool"
+        );
+        let cold_count = spec.proc_count - spec.hot_count;
+
+        const DISPATCHER_SIZE: u32 = 384;
+        // Hot sizes: lognormal, scaled to the hot budget.
+        let hot_budget = spec.hot_size - u64::from(DISPATCHER_SIZE);
+        let hot_sizes = scaled_sizes(&mut rng, driver_count + leaf_count, hot_budget, 0.6);
+        // Cold sizes: heavier tail, scaled to the remaining budget.
+        let cold_budget = spec.total_size - spec.hot_size;
+        let cold_sizes = scaled_sizes(&mut rng, cold_count, cold_budget, 1.0);
+
+        // Named roles in construction order: dispatcher, drivers, hot
+        // leaves, cold tail.
+        let mut roles: Vec<(String, u32)> = Vec::with_capacity(spec.proc_count);
+        roles.push(("dispatch".to_string(), DISPATCHER_SIZE));
+        for (i, &s) in hot_sizes.iter().take(driver_count).enumerate() {
+            roles.push((format!("drive_{i}"), s));
+        }
+        for (i, &s) in hot_sizes.iter().skip(driver_count).enumerate() {
+            roles.push((format!("hot_{i}"), s));
+        }
+        for (i, &s) in cold_sizes.iter().enumerate() {
+            roles.push((format!("cold_{i}"), s));
+        }
+
+        // Real programs scatter hot procedures across source files, so the
+        // compiler-default (id-order) layout interleaves hot and cold code.
+        // Shuffle the role -> procedure-id assignment to reproduce that.
+        let mut id_of_role: Vec<u32> = (0..spec.proc_count as u32).collect();
+        use rand::seq::SliceRandom;
+        id_of_role.shuffle(&mut rng);
+
+        let mut by_id: Vec<(String, u32)> = vec![(String::new(), 0); spec.proc_count];
+        for (role, (name, size)) in roles.into_iter().enumerate() {
+            by_id[id_of_role[role] as usize] = (name, size);
+        }
+        let mut builder = Program::builder();
+        for (name, size) in by_id {
+            builder.procedure(name, size);
+        }
+        let program = builder.build().expect("generated program is valid");
+
+        let dispatcher = ProcId::new(id_of_role[0]);
+        let drivers: Vec<ProcId> = (0..driver_count)
+            .map(|i| ProcId::new(id_of_role[1 + i]))
+            .collect();
+        let hot_leaves: Vec<ProcId> = (0..leaf_count)
+            .map(|i| ProcId::new(id_of_role[1 + driver_count + i]))
+            .collect();
+        // Shared utilities: every eighth hot leaf (at least one).
+        let utilities: Vec<ProcId> = hot_leaves
+            .iter()
+            .copied()
+            .step_by(8)
+            .take((leaf_count / 8).max(1))
+            .collect();
+        let cold: Vec<ProcId> = (0..cold_count)
+            .map(|i| ProcId::new(id_of_role[1 + driver_count + leaf_count + i]))
+            .collect();
+
+        // Hot prefixes: each procedure typically executes 25-70% of its
+        // body (its hot loop plus entry code), at least 32 bytes.
+        let hot_prefix: Vec<u32> = (0..spec.proc_count)
+            .map(|i| {
+                let size = program.size_of(ProcId::new(i as u32));
+                let frac = 0.25 + 0.45 * rng.gen::<f64>();
+                ((f64::from(size) * frac) as u32).clamp(32.min(size), size)
+            })
+            .collect();
+
+        BenchmarkModel {
+            spec,
+            program,
+            dispatcher,
+            drivers,
+            hot_leaves,
+            utilities,
+            cold,
+            hot_prefix,
+            training,
+            testing,
+        }
+    }
+
+    /// Bytes of a procedure's hot prefix (what a typical invocation runs).
+    pub fn hot_prefix(&self, id: ProcId) -> u32 {
+        self.hot_prefix[id.as_usize()]
+    }
+
+    /// The benchmark name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// The spec the model was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The synthetic program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The dispatcher (root) procedure.
+    pub fn dispatcher(&self) -> ProcId {
+        self.dispatcher
+    }
+
+    /// The phase-driver procedures, one per phase.
+    pub fn drivers(&self) -> &[ProcId] {
+        &self.drivers
+    }
+
+    /// The hot leaf procedures.
+    pub fn hot_leaves(&self) -> &[ProcId] {
+        &self.hot_leaves
+    }
+
+    /// The shared utility procedures (a subset of the hot leaves).
+    pub fn utilities(&self) -> &[ProcId] {
+        &self.utilities
+    }
+
+    /// The cold procedures.
+    pub fn cold(&self) -> &[ProcId] {
+        &self.cold
+    }
+
+    /// The hot-leaf window active in the given phase under an input's
+    /// shift, as indices into [`hot_leaves`](Self::hot_leaves).
+    pub fn phase_window(&self, phase: usize, input: &InputSpec) -> Vec<ProcId> {
+        let n = self.hot_leaves.len();
+        let stride = (n / self.spec.phases).max(1);
+        let start = phase * stride + input.phase_shift;
+        (0..self.spec.phase_window.min(n))
+            .map(|k| self.hot_leaves[(start + k) % n])
+            .collect()
+    }
+
+    /// The training input.
+    pub fn training_input(&self) -> InputSpec {
+        self.training
+    }
+
+    /// The testing input.
+    pub fn testing_input(&self) -> InputSpec {
+        self.testing
+    }
+
+    /// Generates a trace of exactly `len` records for an arbitrary input.
+    pub fn trace(&self, input: &InputSpec, len: usize) -> Trace {
+        Executor::new(self, *input).generate(len)
+    }
+
+    /// Generates the training trace (`len` records).
+    pub fn training_trace(&self, len: usize) -> Trace {
+        self.trace(&self.training, len)
+    }
+
+    /// Generates the testing trace (`len` records).
+    pub fn testing_trace(&self, len: usize) -> Trace {
+        self.trace(&self.testing, len)
+    }
+}
+
+/// Samples `n` lognormal sizes and scales them to sum to `budget` bytes
+/// (each at least 16 bytes, rounded to 4).
+fn scaled_sizes(rng: &mut StdRng, n: usize, budget: u64, sigma: f64) -> Vec<u32> {
+    assert!(n > 0, "need at least one size");
+    let raw: Vec<f64> = (0..n).map(|_| lognormal(rng, 0.0, sigma)).collect();
+    let total: f64 = raw.iter().sum();
+    let scale = budget as f64 / total;
+    let mut sizes: Vec<u32> = raw
+        .iter()
+        .map(|r| (((r * scale) as u32).max(16) / 4) * 4)
+        .collect();
+    // Nudge the largest entry so the sum lands close to the budget.
+    let sum: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+    if let Some(max_idx) = (0..n).max_by_key(|&i| sizes[i]) {
+        let adjusted = i64::from(sizes[max_idx]) + (budget as i64 - sum as i64);
+        sizes[max_idx] = adjusted.clamp(16, u32::MAX as i64) as u32 / 4 * 4;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "mini",
+            proc_count: 60,
+            total_size: 300_000,
+            hot_count: 14,
+            hot_size: 60_000,
+            phases: 3,
+            phase_window: 5,
+            phase_dwell: 50,
+            fanout: 4.0,
+            skew: 0.8,
+            cold_call_rate: 0.01,
+            nested_call_rate: 0.2,
+            build_seed: 42,
+        }
+    }
+
+    fn model() -> BenchmarkModel {
+        BenchmarkModel::build(spec(), InputSpec::new(1), InputSpec::new(2))
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let m = model();
+        assert_eq!(m.program().len(), 60);
+        assert_eq!(m.drivers().len(), 3);
+        assert_eq!(m.hot_leaves().len(), 14 - 1 - 3);
+        assert_eq!(m.cold().len(), 60 - 14);
+        assert!(!m.utilities().is_empty());
+        assert!(m.utilities().iter().all(|u| m.hot_leaves().contains(u)));
+    }
+
+    #[test]
+    fn sizes_land_near_budgets() {
+        let m = model();
+        let total = m.program().total_size();
+        assert!(
+            (total as i64 - 300_000i64).unsigned_abs() < 3_000,
+            "total {total}"
+        );
+        let mut hot_ids = vec![m.dispatcher()];
+        hot_ids.extend_from_slice(m.drivers());
+        hot_ids.extend_from_slice(m.hot_leaves());
+        let hot: u64 = hot_ids
+            .iter()
+            .map(|id| u64::from(m.program().size_of(*id)))
+            .sum();
+        assert!((hot as i64 - 60_000i64).unsigned_abs() < 2_000, "hot {hot}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = model();
+        let b = model();
+        assert_eq!(a.program(), b.program());
+        assert_eq!(a.hot_leaves(), b.hot_leaves());
+    }
+
+    #[test]
+    fn phase_windows_cover_distinct_regions() {
+        let m = model();
+        let w0 = m.phase_window(0, &InputSpec::new(0));
+        let w1 = m.phase_window(1, &InputSpec::new(0));
+        assert_eq!(w0.len(), 5);
+        assert_ne!(w0, w1);
+        // A phase shift rotates the windows.
+        let mut shifted = InputSpec::new(0);
+        shifted.phase_shift = 2;
+        let w0s = m.phase_window(0, &shifted);
+        assert_ne!(w0, w0s);
+    }
+
+    #[test]
+    fn hot_prefixes_are_within_procedure_bounds() {
+        let m = model();
+        for id in m.program().ids() {
+            let hp = m.hot_prefix(id);
+            let size = m.program().size_of(id);
+            assert!(hp >= 1 && hp <= size, "{id}: prefix {hp} of {size}");
+            if size >= 128 {
+                // Roughly 25-70% of the body.
+                assert!(hp >= size / 5 && hp <= size * 3 / 4, "{id}: {hp}/{size}");
+            }
+        }
+    }
+
+    #[test]
+    fn traces_are_valid_and_exact_length() {
+        let m = model();
+        let t = m.training_trace(5_000);
+        assert_eq!(t.len(), 5_000);
+        t.validate(m.program()).unwrap();
+    }
+
+    #[test]
+    fn training_and_testing_traces_differ() {
+        let m = model();
+        let a = m.training_trace(2_000);
+        let b = m.testing_trace(2_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_input_same_trace() {
+        let m = model();
+        assert_eq!(m.training_trace(2_000), m.training_trace(2_000));
+    }
+}

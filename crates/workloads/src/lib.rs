@@ -1,0 +1,47 @@
+//! Synthetic workload models standing in for the paper's SPECint95 + ATOM
+//! environment.
+//!
+//! The paper evaluates its placement algorithms on five SPECint95 programs
+//! plus ghostscript, tracing them with ATOM (Table 1). Neither the DEC
+//! Alpha binaries nor the traces are available, so this crate provides the
+//! closest synthetic equivalent that exercises the same code paths:
+//!
+//! * [`WorkloadSpec`] — a parameterized program model: procedure counts and
+//!   size distributions matched to Table 1's statics, a layered call graph
+//!   (dispatcher → phase drivers → hot procedures → shared utilities +
+//!   cold tail), and **phase behavior** (the executor dwells on a subset
+//!   of hot procedures, then moves on), which creates exactly the
+//!   temporal structure a WCG cannot see (the paper's Figure 1).
+//! * [`InputSpec`] — one "program input": RNG seed plus knobs (phase
+//!   stride/dwell, call-site skew, cold-call rate). Each benchmark has a
+//!   `training` and a `testing` input, mirroring the paper's §5.2
+//!   train/test methodology — including `m88ksim`, whose testing input is
+//!   deliberately divergent ("dcrand is a poor training set for dhry").
+//! * [`BenchmarkModel`] — a built program plus its two inputs;
+//!   [`suite::standard_suite`] returns the six Table 1 benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_workloads::suite;
+//!
+//! let model = suite::m88ksim();
+//! let program = model.program();
+//! assert_eq!(program.len(), 460); // Table 1: m88ksim has 460 procedures
+//! let train = model.training_trace(20_000);
+//! assert_eq!(train.len(), 20_000);
+//! train.validate(program).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod callgraph;
+mod exec;
+mod generator;
+mod spec;
+pub mod suite;
+
+pub use exec::Executor;
+pub use generator::BenchmarkModel;
+pub use spec::{InputSpec, WorkloadSpec};

@@ -1,0 +1,151 @@
+//! Workload and input specifications.
+
+/// Static + dynamic shape of one synthetic benchmark.
+///
+/// The static fields are matched to the paper's Table 1; the dynamic fields
+/// control the executor's phase structure and are tuned so that the
+/// *default-layout* miss rate and average Q size land in the right regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name (Table 1 row).
+    pub name: &'static str,
+    /// Total number of procedures.
+    pub proc_count: usize,
+    /// Total text size in bytes.
+    pub total_size: u64,
+    /// Number of hot (popular) procedures.
+    pub hot_count: usize,
+    /// Total size of the hot procedures in bytes.
+    pub hot_size: u64,
+    /// Number of execution phases (overlapping windows over the hot set).
+    pub phases: usize,
+    /// Hot procedures actively used within one phase.
+    pub phase_window: usize,
+    /// Mean root invocations spent in a phase before moving on.
+    pub phase_dwell: u32,
+    /// Mean number of calls a phase driver makes per invocation.
+    pub fanout: f64,
+    /// Zipf exponent skewing callee choice within a phase window.
+    pub skew: f64,
+    /// Probability that any call targets a cold procedure instead of a hot
+    /// one.
+    pub cold_call_rate: f64,
+    /// Probability that a hot leaf makes a nested call to a shared utility.
+    pub nested_call_rate: f64,
+    /// Seed for the (deterministic) program-construction RNG.
+    pub build_seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Sanity-checks the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts or sizes are inconsistent (e.g. more hot procedures
+    /// than procedures, hot size exceeding total size, an empty window).
+    pub fn validate(&self) {
+        assert!(
+            self.proc_count >= 4,
+            "need at least dispatcher + driver + 2"
+        );
+        assert!(self.hot_count >= 2 && self.hot_count < self.proc_count);
+        assert!(self.hot_size < self.total_size);
+        assert!(self.phases >= 1);
+        assert!(self.phase_window >= 1);
+        assert!(self.phase_dwell >= 1);
+        assert!(self.fanout > 0.0);
+        assert!((0.0..1.0).contains(&self.cold_call_rate));
+        assert!((0.0..1.0).contains(&self.nested_call_rate));
+    }
+}
+
+/// One program input: the executor's RNG seed plus behavioral deltas.
+///
+/// Two inputs of the same model share the call-graph *structure* but differ
+/// in seed, phase scheduling, and callee skew — like running the same
+/// binary on different data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputSpec {
+    /// Executor RNG seed.
+    pub seed: u64,
+    /// Rotation applied to every phase window (hot-procedure indices shift
+    /// by this amount), moving the hot working sets.
+    pub phase_shift: usize,
+    /// Multiplier on the mean phase dwell.
+    pub dwell_factor: f64,
+    /// Offset added to the callee-selection Zipf exponent.
+    pub skew_delta: f64,
+    /// Multiplier on the cold-call rate.
+    pub cold_factor: f64,
+}
+
+impl InputSpec {
+    /// A neutral input with the given seed.
+    pub fn new(seed: u64) -> Self {
+        InputSpec {
+            seed,
+            phase_shift: 0,
+            dwell_factor: 1.0,
+            skew_delta: 0.0,
+            cold_factor: 1.0,
+        }
+    }
+}
+
+impl Default for InputSpec {
+    fn default() -> Self {
+        InputSpec::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            proc_count: 50,
+            total_size: 200_000,
+            hot_count: 10,
+            hot_size: 40_000,
+            phases: 3,
+            phase_window: 4,
+            phase_dwell: 100,
+            fanout: 4.0,
+            skew: 0.8,
+            cold_call_rate: 0.01,
+            nested_call_rate: 0.3,
+            build_seed: 1,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        base().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_hot_exceeding_total() {
+        let mut s = base();
+        s.hot_size = 300_000;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_too_many_hot() {
+        let mut s = base();
+        s.hot_count = 50;
+        s.validate();
+    }
+
+    #[test]
+    fn input_default_is_neutral() {
+        let i = InputSpec::default();
+        assert_eq!(i.dwell_factor, 1.0);
+        assert_eq!(i.phase_shift, 0);
+        assert_eq!(InputSpec::new(5).seed, 5);
+    }
+}

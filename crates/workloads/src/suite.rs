@@ -1,0 +1,254 @@
+//! The six Table 1 benchmarks as synthetic models.
+//!
+//! Static shape (procedure count, total size, popular count, popular size)
+//! is matched to Table 1 of the paper; dynamic parameters (phases, working
+//! set, dwell) are tuned so the default-layout miss rate and the average Q
+//! size land in the regime Table 1 reports. Training and testing inputs
+//! differ in seed, phase scheduling, and callee skew, as the paper's
+//! train/test data sets do; `m88ksim`'s testing input is deliberately
+//! divergent, reproducing the paper's remark that "dcrand is a poor
+//! training set for dhry".
+
+use crate::{BenchmarkModel, InputSpec, WorkloadSpec};
+
+/// `gcc` (SPECint95): 2005 procedures, 2277 KB, 136 popular (351 KB).
+pub fn gcc() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "gcc",
+            proc_count: 2005,
+            total_size: 2277 * 1024,
+            hot_count: 136,
+            hot_size: 351 * 1024,
+            phases: 27,
+            phase_window: 5,
+            phase_dwell: 40,
+            fanout: 5.0,
+            skew: 1.2,
+            cold_call_rate: 0.015,
+            nested_call_rate: 0.25,
+            build_seed: 0x6cc,
+        },
+        InputSpec::new(101),
+        InputSpec {
+            seed: 202,
+            phase_shift: 0,
+            dwell_factor: 1.1,
+            skew_delta: -0.05,
+            cold_factor: 1.3,
+        },
+    )
+}
+
+/// `go` (SPECint95): 3221 procedures, 590 KB, 112 popular (134 KB).
+pub fn go() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "go",
+            proc_count: 3221,
+            total_size: 590 * 1024,
+            hot_count: 112,
+            hot_size: 134 * 1024,
+            phases: 14,
+            phase_window: 8,
+            phase_dwell: 30,
+            fanout: 5.0,
+            skew: 1.1,
+            cold_call_rate: 0.010,
+            nested_call_rate: 0.30,
+            build_seed: 0x60,
+        },
+        InputSpec::new(103),
+        InputSpec {
+            seed: 204,
+            phase_shift: 1,
+            dwell_factor: 0.8,
+            skew_delta: 0.1,
+            cold_factor: 0.9,
+        },
+    )
+}
+
+/// `ghostscript`: 372 procedures, 1817 KB, 216 popular (104 KB).
+pub fn ghostscript() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "ghostscript",
+            proc_count: 372,
+            total_size: 1817 * 1024,
+            hot_count: 216,
+            hot_size: 104 * 1024,
+            phases: 12,
+            phase_window: 16,
+            phase_dwell: 50,
+            fanout: 6.0,
+            skew: 1.0,
+            cold_call_rate: 0.008,
+            nested_call_rate: 0.30,
+            build_seed: 0x65,
+        },
+        InputSpec::new(105),
+        InputSpec {
+            seed: 206,
+            phase_shift: 2,
+            dwell_factor: 1.1,
+            skew_delta: 0.05,
+            cold_factor: 1.1,
+        },
+    )
+}
+
+/// `m88ksim` (SPECint95): 460 procedures, 549 KB, 31 popular (21 KB).
+///
+/// The testing input is deliberately divergent from training (large phase
+/// shift, different dwell and skew) — the paper notes its train/test pair
+/// (`dcrand`/`dhry`) is a poor match.
+pub fn m88ksim() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "m88ksim",
+            proc_count: 460,
+            total_size: 549 * 1024,
+            hot_count: 31,
+            hot_size: 21 * 1024,
+            phases: 4,
+            phase_window: 8,
+            phase_dwell: 80,
+            fanout: 4.0,
+            skew: 1.2,
+            cold_call_rate: 0.010,
+            nested_call_rate: 0.20,
+            build_seed: 0x88,
+        },
+        InputSpec::new(107),
+        InputSpec {
+            seed: 208,
+            phase_shift: 13, // rotate the hot windows far away from training
+            dwell_factor: 0.3,
+            skew_delta: 0.5,
+            cold_factor: 2.0,
+        },
+    )
+}
+
+/// `perl` (SPECint95): 271 procedures, 664 KB, 36 popular (83 KB).
+pub fn perl() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "perl",
+            proc_count: 271,
+            total_size: 664 * 1024,
+            hot_count: 36,
+            hot_size: 83 * 1024,
+            phases: 6,
+            phase_window: 5,
+            phase_dwell: 60,
+            fanout: 4.0,
+            skew: 1.4,
+            cold_call_rate: 0.010,
+            nested_call_rate: 0.20,
+            build_seed: 0x9e,
+        },
+        InputSpec::new(109),
+        InputSpec {
+            seed: 210,
+            phase_shift: 1,
+            dwell_factor: 1.2,
+            skew_delta: -0.15,
+            cold_factor: 1.2,
+        },
+    )
+}
+
+/// `vortex` (SPECint95): 923 procedures, 1073 KB, 156 popular (117 KB).
+pub fn vortex() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "vortex",
+            proc_count: 923,
+            total_size: 1073 * 1024,
+            hot_count: 156,
+            hot_size: 117 * 1024,
+            phases: 10,
+            phase_window: 20,
+            phase_dwell: 45,
+            fanout: 7.0,
+            skew: 0.9,
+            cold_call_rate: 0.012,
+            nested_call_rate: 0.35,
+            build_seed: 0x40,
+        },
+        InputSpec::new(111),
+        InputSpec {
+            seed: 212,
+            phase_shift: 2,
+            dwell_factor: 0.9,
+            skew_delta: 0.1,
+            cold_factor: 1.1,
+        },
+    )
+}
+
+/// All six Table 1 benchmarks, in the paper's row order.
+pub fn standard_suite() -> Vec<BenchmarkModel> {
+    vec![gcc(), go(), ghostscript(), m88ksim(), perl(), vortex()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table1_statics() {
+        let expected: &[(&str, usize, u64, usize, u64)] = &[
+            ("gcc", 2005, 2277, 136, 351),
+            ("go", 3221, 590, 112, 134),
+            ("ghostscript", 372, 1817, 216, 104),
+            ("m88ksim", 460, 549, 31, 21),
+            ("perl", 271, 664, 36, 83),
+            ("vortex", 923, 1073, 156, 117),
+        ];
+        for (model, &(name, procs, total_kb, hot, hot_kb)) in standard_suite().iter().zip(expected)
+        {
+            assert_eq!(model.name(), name);
+            assert_eq!(model.program().len(), procs, "{name} proc count");
+            let total = model.program().total_size();
+            assert!(
+                (total as i64 - (total_kb * 1024) as i64).unsigned_abs() < 20 * 1024,
+                "{name} total {total}"
+            );
+            assert_eq!(model.spec().hot_count, hot);
+            let mut hot_ids = vec![model.dispatcher()];
+            hot_ids.extend_from_slice(model.drivers());
+            hot_ids.extend_from_slice(model.hot_leaves());
+            assert_eq!(hot_ids.len(), hot);
+            let hot_size: u64 = hot_ids
+                .iter()
+                .map(|id| u64::from(model.program().size_of(*id)))
+                .sum();
+            assert!(
+                (hot_size as i64 - (hot_kb * 1024) as i64).unsigned_abs() < 8 * 1024,
+                "{name} hot size {hot_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_generate_valid_traces() {
+        for model in standard_suite() {
+            let t = model.training_trace(3_000);
+            assert_eq!(t.len(), 3_000, "{}", model.name());
+            t.validate(model.program()).unwrap();
+            let t = model.testing_trace(3_000);
+            t.validate(model.program()).unwrap();
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = standard_suite().iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

@@ -1,0 +1,43 @@
+//! Compare all placement algorithms across the whole Table 1 suite.
+//!
+//! For each benchmark: profile the training trace, place with the default
+//! order, a random order, PH, HKC, and GBSC, then simulate the testing
+//! trace — a miniature of the paper's Figure 5 headline numbers.
+//!
+//! Run with: `cargo run --release --example compare_algorithms [records]`
+
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let cache = CacheConfig::direct_mapped_8k();
+
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "default", "random", "PH", "HKC", "GBSC"
+    );
+    for model in suite::standard_suite() {
+        let program = model.program();
+        let train = model.training_trace(records);
+        let test = model.testing_trace(records);
+        let session = Session::new(program, cache).profile(&train);
+
+        let algorithms: &[&dyn PlacementAlgorithm] = &[
+            &SourceOrder::new(),
+            &RandomOrder::new(42),
+            &PettisHansen::new(),
+            &CacheColoring::new(),
+            &Gbsc::new(),
+        ];
+        let cmp = tempo::compare(&session, algorithms, &test);
+        print!("{:<12}", model.name());
+        for row in cmp.rows() {
+            print!(" {:>8.2}%", row.stats.miss_rate() * 100.0);
+        }
+        println!();
+    }
+}

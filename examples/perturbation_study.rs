@@ -1,0 +1,54 @@
+//! A miniature of the paper's §5.1 randomization methodology: perturb the
+//! training profile multiplicatively (ŵ = w·exp(sX), s = 0.1), re-run the
+//! placement, and look at the spread of testing miss rates.
+//!
+//! Run with: `cargo run --release --example perturbation_study [runs]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let model = suite::m88ksim();
+    let program = model.program();
+    let cache = CacheConfig::direct_mapped_8k();
+    let train = model.training_trace(150_000);
+    let test = model.testing_trace(150_000);
+    let session = Session::new(program, cache).profile(&train);
+
+    let mut rng = StdRng::seed_from_u64(0xF165);
+    for alg in [
+        &Gbsc::new() as &dyn PlacementAlgorithm,
+        &PettisHansen::new(),
+    ] {
+        let mut rates: Vec<f64> = (0..runs)
+            .map(|_| {
+                let perturbed = session.perturbed(0.1, &mut rng);
+                let layout = perturbed.place(alg);
+                perturbed.evaluate(&layout, &test).miss_rate() * 100.0
+            })
+            .collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rates[rates.len() / 2];
+        println!(
+            "{:<6} {} runs: min {:.2}%  median {:.2}%  max {:.2}%",
+            alg.name(),
+            runs,
+            rates.first().unwrap(),
+            median,
+            rates.last().unwrap()
+        );
+        println!(
+            "  sorted: {:?}",
+            rates
+                .iter()
+                .map(|r| (r * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: profile a synthetic workload, place it with GBSC, and
+//! compare against the compiler-default layout.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+fn main() {
+    // The `perl` model from the paper's Table 1: 271 procedures, 664 KB of
+    // text, 36 hot procedures.
+    let model = suite::perl();
+    let program = model.program();
+    println!(
+        "benchmark {}: {} procedures, {} KB",
+        model.name(),
+        program.len(),
+        program.total_size() / 1024
+    );
+
+    // Train on one input, evaluate on another — the paper's methodology.
+    let train = model.training_trace(300_000);
+    let test = model.testing_trace(300_000);
+
+    let cache = CacheConfig::direct_mapped_8k();
+    let session = Session::new(program, cache).profile(&train);
+    println!(
+        "profile: {} popular procedures, TRG_select {} edges, TRG_place {} edges, avg Q {:.1}",
+        session.profile().popular.count(),
+        session.profile().trg_select.edge_count(),
+        session.profile().trg_place.edge_count(),
+        session.profile().q_stats.average,
+    );
+
+    let comparison = tempo::compare(
+        &session,
+        &[&SourceOrder::new(), &PettisHansen::new(), &Gbsc::new()],
+        &test,
+    );
+    println!("\n{comparison}");
+
+    let best = comparison.best().expect("three rows");
+    println!(
+        "best: {} at {:.2}% misses",
+        best.name,
+        best.stats.miss_rate() * 100.0
+    );
+}

@@ -1,0 +1,201 @@
+//! Integration tests for the extension features: splitting (§8), miss
+//! classification, trace analysis, profile serialization, and the
+//! exhaustive reference search — all running against the workload suite.
+
+use tempo::cache::classify;
+use tempo::place::splitting::{SplitPlan, SplitProgram};
+use tempo::prelude::*;
+use tempo::trace::analysis::{reuse_distances, working_set_sizes};
+use tempo::trg::io::{read_profile, write_profile};
+use tempo::workloads::{suite, BenchmarkModel, InputSpec, WorkloadSpec};
+
+fn mini_model() -> BenchmarkModel {
+    BenchmarkModel::build(
+        WorkloadSpec {
+            name: "ext-mini",
+            proc_count: 90,
+            total_size: 350_000,
+            hot_count: 20,
+            hot_size: 70_000,
+            phases: 4,
+            phase_window: 6,
+            phase_dwell: 40,
+            fanout: 4.0,
+            skew: 0.9,
+            cold_call_rate: 0.015,
+            nested_call_rate: 0.25,
+            build_seed: 99,
+        },
+        InputSpec::new(1),
+        InputSpec::new(2),
+    )
+}
+
+#[test]
+fn classification_identity_holds_on_workloads() {
+    let model = mini_model();
+    let program = model.program();
+    let trace = model.training_trace(40_000);
+    let cache = CacheConfig::direct_mapped_8k();
+    for layout in [
+        Layout::source_order(program),
+        Session::new(program, cache)
+            .profile(&trace)
+            .place(&Gbsc::new()),
+    ] {
+        let b = classify(program, &layout, &trace, cache);
+        let s = simulate(program, &layout, &trace, cache);
+        assert_eq!(b.total_misses(), s.misses);
+        assert_eq!(b.accesses, s.accesses);
+        assert_eq!(b.instructions, s.instructions);
+    }
+}
+
+#[test]
+fn gbsc_gain_is_conflict_misses() {
+    let model = mini_model();
+    let program = model.program();
+    let train = model.training_trace(60_000);
+    let cache = CacheConfig::direct_mapped_8k();
+    let session = Session::new(program, cache).profile(&train);
+    let default = classify(program, &Layout::source_order(program), &train, cache);
+    let gbsc = classify(program, &session.place(&Gbsc::new()), &train, cache);
+    // Cold and capacity misses are layout-invariant up to boundary
+    // effects (procedures sharing a line in one layout but not another);
+    // the win must come from the conflict column.
+    let cold_delta = (default.cold as i64 - gbsc.cold as i64).unsigned_abs();
+    assert!(
+        cold_delta * 100 <= default.cold.max(1),
+        "cold shifted by {cold_delta}"
+    );
+    // Note: "capacity" (FA-LRU warm misses, clamped) is not strictly
+    // layout-invariant because LRU is not an optimal policy — a good DM
+    // layout can beat FA-LRU on cyclic patterns. The robust claims:
+    assert!(
+        gbsc.conflict < default.conflict,
+        "conflict {} -> {}",
+        default.conflict,
+        gbsc.conflict
+    );
+    assert!(
+        gbsc.conflict_fraction() < default.conflict_fraction(),
+        "conflict fraction must shrink"
+    );
+    assert!(gbsc.total_misses() < default.total_misses());
+}
+
+#[test]
+fn splitting_pipeline_on_suite_benchmark() {
+    let model = suite::m88ksim();
+    let program = model.program();
+    let train = model.training_trace(40_000);
+    let test = model.testing_trace(40_000);
+    let cache = CacheConfig::direct_mapped_8k();
+
+    let plan = SplitPlan::from_trace(program, &train, 0.9, 32);
+    assert!(!plan.is_empty());
+    let sp = SplitProgram::split(program, &plan).expect("valid split");
+    assert_eq!(sp.program().total_size(), program.total_size());
+
+    let strain = sp.transform_trace(&train);
+    let stest = sp.transform_trace(&test);
+    strain.validate(sp.program()).unwrap();
+    stest.validate(sp.program()).unwrap();
+    // Byte extents are preserved exactly by the transform.
+    let orig_bytes: u64 = train.iter().map(|r| u64::from(r.bytes)).sum();
+    let new_bytes: u64 = strain.iter().map(|r| u64::from(r.bytes)).sum();
+    assert_eq!(orig_bytes, new_bytes);
+
+    let session = Session::new(sp.program(), cache).profile(&strain);
+    let layout = session.place(&Gbsc::new());
+    layout.validate(sp.program()).unwrap();
+    let split_mr = session.evaluate(&layout, &stest).miss_rate();
+
+    let base_session = Session::new(program, cache).profile(&train);
+    let base_mr = base_session
+        .evaluate(&base_session.place(&Gbsc::new()), &test)
+        .miss_rate();
+    assert!(
+        split_mr <= base_mr * 1.1,
+        "split {split_mr:.4} vs base {base_mr:.4}"
+    );
+}
+
+#[test]
+fn profile_io_roundtrips_through_placement() {
+    let model = mini_model();
+    let program = model.program();
+    let train = model.training_trace(30_000);
+    let cache = CacheConfig::direct_mapped_8k();
+    let profile = Profiler::new(program, cache).profile(&train);
+
+    let mut buf = Vec::new();
+    write_profile(&mut buf, &profile).expect("write profile");
+    let back = read_profile(buf.as_slice()).expect("read profile");
+
+    // Placements from the original and the round-tripped profile agree.
+    let a = tempo::ProfiledSession::from_profile(program, profile).place(&Gbsc::new());
+    let b = tempo::ProfiledSession::from_profile(program, back).place(&Gbsc::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn analysis_matches_qset_view() {
+    // The fraction of reuses within the Q bound (2x cache) should be high
+    // for every benchmark — that is why the paper's bound works.
+    let model = mini_model();
+    let program = model.program();
+    let trace = model.training_trace(30_000);
+    let c = u64::from(CacheConfig::direct_mapped_8k().size());
+    let s = reuse_distances(program, &trace, &[2 * c]);
+    assert!(s.count > 0);
+    let frac = s.at_or_below[0] as f64 / s.count as f64;
+    assert!(frac > 0.6, "only {frac:.2} of reuses within 2x cache");
+}
+
+#[test]
+fn working_sets_reflect_phases() {
+    let model = mini_model();
+    let program = model.program();
+    let trace = model.training_trace(30_000);
+    let ws = working_set_sizes(program, &trace, 1_000);
+    assert!(!ws.is_empty());
+    // Per-window footprints must be far below the total program size
+    // (phases!) but above a single procedure.
+    let max = *ws.iter().max().unwrap();
+    assert!(max < program.total_size() / 2, "max ws {max}");
+    let min = *ws.iter().min().unwrap();
+    assert!(min > 1_000, "min ws {min}");
+}
+
+#[test]
+fn exhaustive_reference_confirms_gbsc_on_tiny_case() {
+    use tempo::place::exhaustive::optimal_order;
+    // Four procedures, heavy pairwise alternation between p0/p2.
+    let program = Program::builder()
+        .procedure("p0", 2048)
+        .procedure("p1", 2048)
+        .procedure("p2", 2048)
+        .procedure("p3", 2048)
+        .build()
+        .unwrap();
+    let ids: Vec<ProcId> = program.ids().collect();
+    let mut refs = Vec::new();
+    for _ in 0..40 {
+        refs.extend([ids[0], ids[2]]);
+    }
+    let trace = Trace::from_full_records(&program, refs);
+    let cache = CacheConfig::direct_mapped(4096).unwrap();
+    let (_, optimal_misses) = optimal_order(&program, &trace, cache);
+
+    let session = Session::new(&program, cache)
+        .popularity(PopularitySelector::all())
+        .profile(&trace);
+    let gbsc = session.evaluate(&session.place(&Gbsc::new()), &trace);
+    assert!(
+        gbsc.misses <= optimal_misses,
+        "gbsc {} must match or beat the best gap-free order {}",
+        gbsc.misses,
+        optimal_misses
+    );
+}
