@@ -1,0 +1,554 @@
+//! The structural lint rules and their registry.
+//!
+//! Every rule is a [`Rule`] implementation with a stable code (`L001`…)
+//! and runs against one [`AnalysisInput`]. Rules never panic on corrupt
+//! input — a layout that does not even cover the program trips `L001` and
+//! makes the address-dependent rules skip themselves.
+
+use tempo_program::{Chunks, ProcId};
+
+use crate::diagnostics::{proc_names, AnalysisReport, Diagnostic, Severity};
+use crate::AnalysisInput;
+
+/// A single lint rule.
+pub trait Rule {
+    /// The stable diagnostic code the rule emits under.
+    fn code(&self) -> &'static str;
+    /// A short human-readable rule name.
+    fn name(&self) -> &'static str;
+    /// Checks the input, appending any findings to `report`.
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport);
+}
+
+/// All rules, in execution (and code) order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ProcedureCount),
+        Box::new(Overlap),
+        Box::new(ChunkIntegrity),
+        Box::new(Alignment),
+        Box::new(SplitInvariant),
+        Box::new(PaddingBlowup),
+        Box::new(UnalignedPopular),
+    ]
+}
+
+/// Returns `true` when the layout covers exactly the program's procedures,
+/// i.e. address-indexed rules can run without panicking.
+fn addressable(input: &AnalysisInput<'_>) -> bool {
+    input.layout.len() == input.program.len()
+}
+
+/// L001: the layout's address vector must cover exactly the program's
+/// procedures.
+struct ProcedureCount;
+
+impl Rule for ProcedureCount {
+    fn code(&self) -> &'static str {
+        "L001"
+    }
+    fn name(&self) -> &'static str {
+        "procedure-count"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        if !addressable(input) {
+            report.push(
+                Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    format!(
+                        "layout covers {} procedures but the program has {}",
+                        input.layout.len(),
+                        input.program.len()
+                    ),
+                )
+                .with_suggestion("regenerate the layout from this program"),
+            );
+        }
+    }
+}
+
+/// L002: no two procedures may overlap in memory.
+struct Overlap;
+
+impl Rule for Overlap {
+    fn code(&self) -> &'static str {
+        "L002"
+    }
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        if !addressable(input) {
+            return;
+        }
+        let order = input.layout.order();
+        for pair in order.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let end = input.layout.end_addr(a, input.program);
+            let start = input.layout.addr(b);
+            if end > start {
+                let names = proc_names(input.program, &[a, b]);
+                report.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Error,
+                        format!(
+                            "{} (ends at {end:#x}) overlaps {} (starts at {start:#x}) by {} bytes",
+                            names[0],
+                            names[1],
+                            end - start
+                        ),
+                    )
+                    .with_procs(vec![a, b])
+                    .with_suggestion("re-linearize the placement; procedures must not share bytes"),
+                );
+            }
+        }
+    }
+}
+
+/// L003: the program's chunk table must tile each procedure exactly —
+/// ordinal 0 at offset 0, contiguous offsets, lengths summing to the
+/// procedure size, and no chunk extending past its owner.
+struct ChunkIntegrity;
+
+impl Rule for ChunkIntegrity {
+    fn code(&self) -> &'static str {
+        "L003"
+    }
+    fn name(&self) -> &'static str {
+        "chunk-integrity"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        let program = input.program;
+        let mut next_offset = vec![0u32; program.len()];
+        let mut next_ordinal = vec![0u32; program.len()];
+        for info in Chunks::new(program) {
+            let p = info.owner.as_usize();
+            if info.ordinal != next_ordinal[p] || info.offset != next_offset[p] {
+                report.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Error,
+                        format!(
+                            "chunk {} of {} is ordinal {} at offset {} (expected ordinal {} at offset {})",
+                            info.id.index(),
+                            proc_names(program, &[info.owner])[0],
+                            info.ordinal,
+                            info.offset,
+                            next_ordinal[p],
+                            next_offset[p],
+                        ),
+                    )
+                    .with_procs(vec![info.owner]),
+                );
+                return; // the rest of the walk would cascade
+            }
+            next_ordinal[p] += 1;
+            next_offset[p] += info.len;
+            if info.len == 0 || next_offset[p] > program.size_of(info.owner) {
+                report.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Error,
+                        format!(
+                            "chunk {} of {} has length {} extending to offset {} of a {}-byte procedure",
+                            info.id.index(),
+                            proc_names(program, &[info.owner])[0],
+                            info.len,
+                            next_offset[p],
+                            program.size_of(info.owner),
+                        ),
+                    )
+                    .with_procs(vec![info.owner]),
+                );
+                return;
+            }
+        }
+        for id in program.ids() {
+            let p = id.as_usize();
+            if next_offset[p] != program.size_of(id) {
+                report.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Error,
+                        format!(
+                            "chunks of {} cover {} of {} bytes",
+                            proc_names(program, &[id])[0],
+                            next_offset[p],
+                            program.size_of(id),
+                        ),
+                    )
+                    .with_procs(vec![id]),
+                );
+            }
+        }
+    }
+}
+
+/// L004: realized addresses must honor the placement's cache-relative
+/// alignment decisions ([`tempo_place::PlacementTuples`]).
+struct Alignment;
+
+impl Rule for Alignment {
+    fn code(&self) -> &'static str {
+        "L004"
+    }
+    fn name(&self) -> &'static str {
+        "alignment"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        let Some(tuples) = input.tuples else {
+            return;
+        };
+        if !addressable(input) {
+            return;
+        }
+        if tuples.lines() != input.cache.lines() {
+            report.push(
+                Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    format!(
+                        "placement tuples target a {}-line cache but the layout is checked against {} lines",
+                        tuples.lines(),
+                        input.cache.lines()
+                    ),
+                )
+                .with_suggestion("analyze with the cache geometry the placement was computed for"),
+            );
+            return;
+        }
+        for (id, want) in tuples.aligned() {
+            if id.as_usize() >= input.program.len() {
+                continue;
+            }
+            let got = input.cache.cache_line_of_addr(input.layout.addr(id));
+            if got != want {
+                report.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Warning,
+                        format!(
+                            "{} was aligned to cache line {want} but lands on line {got}",
+                            proc_names(input.program, &[id])[0],
+                        ),
+                    )
+                    .with_procs(vec![id])
+                    .with_suggestion(
+                        "linearization moved this procedure; the placement's conflict \
+                         estimates no longer hold",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L005: in a split program, every cold part must be placed after its hot
+/// part (the whole point of splitting is pushing cold bytes out of the
+/// hot working set).
+struct SplitInvariant;
+
+impl Rule for SplitInvariant {
+    fn code(&self) -> &'static str {
+        "L005"
+    }
+    fn name(&self) -> &'static str {
+        "split-invariant"
+    }
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        let Some(split) = input.split else {
+            return;
+        };
+        if !addressable(input) {
+            return;
+        }
+        for orig in 0..split.original_len() {
+            let orig = ProcId::new(orig as u32);
+            let Some(cold) = split.cold_part(orig) else {
+                continue;
+            };
+            let hot = split.hot_part(orig);
+            if hot.as_usize() >= input.program.len() || cold.as_usize() >= input.program.len() {
+                continue; // L001 already reported the coverage problem
+            }
+            let (hot_addr, cold_addr) = (input.layout.addr(hot), input.layout.addr(cold));
+            if cold_addr <= hot_addr {
+                let names = proc_names(input.program, &[hot, cold]);
+                report.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Error,
+                        format!(
+                            "cold part {} ({cold_addr:#x}) is placed before its hot part {} ({hot_addr:#x})",
+                            names[1], names[0],
+                        ),
+                    )
+                    .with_procs(vec![hot, cold])
+                    .with_suggestion("sweep cold parts into the unpopular tail of the layout"),
+                );
+            }
+        }
+    }
+}
+
+/// L006: the layout's span should not dwarf the code it holds.
+struct PaddingBlowup;
+
+/// A layout spanning more than this multiple of the program's code size is
+/// flagged (provided the padding also exceeds one full cache, so tiny
+/// programs with a deliberate gap are not flagged).
+const PADDING_FACTOR: f64 = 2.0;
+
+impl Rule for PaddingBlowup {
+    fn code(&self) -> &'static str {
+        "L006"
+    }
+    fn name(&self) -> &'static str {
+        "padding-blowup"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        if !addressable(input) {
+            return;
+        }
+        let span = input.layout.span(input.program);
+        let code = input.program.total_size();
+        let padding = input.layout.padding(input.program);
+        if span as f64 > code as f64 * PADDING_FACTOR && padding > u64::from(input.cache.size()) {
+            report.push(
+                Diagnostic::new(
+                    self.code(),
+                    Severity::Warning,
+                    format!(
+                        "layout spans {span} bytes for {code} bytes of code ({padding} bytes of padding)"
+                    ),
+                )
+                .with_suggestion(
+                    "excessive padding wastes memory and TLB reach; check the \
+                     linearization's gap-filling",
+                ),
+            );
+        }
+    }
+}
+
+/// L007: every popular procedure should have received a cache-relative
+/// alignment; a popular procedure the placement never aligned is placed
+/// arbitrarily exactly where it matters most.
+struct UnalignedPopular;
+
+impl Rule for UnalignedPopular {
+    fn code(&self) -> &'static str {
+        "L007"
+    }
+    fn name(&self) -> &'static str {
+        "unaligned-popular"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        let (Some(popular), Some(tuples)) = (input.popular, input.tuples) else {
+            return;
+        };
+        let missing: Vec<ProcId> = popular
+            .iter()
+            .filter(|&id| tuples.offset(id).is_none())
+            .collect();
+        if !missing.is_empty() {
+            let shown = proc_names(input.program, &missing).join(", ");
+            report.push(
+                Diagnostic::new(
+                    self.code(),
+                    Severity::Warning,
+                    format!(
+                        "{} popular procedure(s) never received a cache alignment: {shown}",
+                        missing.len(),
+                    ),
+                )
+                .with_procs(missing)
+                .with_suggestion(
+                    "popular procedures drive the miss rate; the placement should align \
+                     all of them",
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use tempo_cache::CacheConfig;
+    use tempo_place::{PlacementTuples, SplitPlan, SplitProgram};
+    use tempo_program::{Layout, Program};
+    use tempo_trg::PopularSet;
+
+    fn program() -> Program {
+        Program::builder()
+            .procedure("a", 100)
+            .procedure("b", 50)
+            .procedure("c", 200)
+            .build()
+            .unwrap()
+    }
+
+    fn codes(report: &AnalysisReport) -> Vec<&'static str> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_source_order_has_no_findings() {
+        let p = program();
+        let layout = Layout::source_order(&p);
+        let input = AnalysisInput::new(&p, &layout, CacheConfig::direct_mapped_8k());
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.warning_count(), 0);
+        assert_eq!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn wrong_count_trips_l001_and_suppresses_address_rules() {
+        let p = program();
+        let layout = Layout::from_addresses(vec![0, 100]);
+        let input = AnalysisInput::new(&p, &layout, CacheConfig::direct_mapped_8k());
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L001"]);
+        assert_eq!(report.exit_code(false), 1);
+    }
+
+    #[test]
+    fn overlap_trips_l002_for_every_pair() {
+        let p = program();
+        // a[0,100) overlaps b[50,100); b overlaps c[60,260).
+        let layout = Layout::from_addresses(vec![0, 50, 60]);
+        let input = AnalysisInput::new(&p, &layout, CacheConfig::direct_mapped_8k());
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L002", "L002"]);
+        assert!(report.diagnostics()[0].message.contains("overlaps"));
+    }
+
+    #[test]
+    fn misalignment_trips_l004_warning() {
+        let p = program();
+        let cache = CacheConfig::direct_mapped_8k();
+        let layout = Layout::source_order(&p);
+        let mut tuples = PlacementTuples::new(p.len(), cache.lines());
+        // a really lands on line 0; claim line 7.
+        tuples.set_offset(ProcId::new(0), 7);
+        let input = AnalysisInput::new(&p, &layout, cache).with_tuples(&tuples);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L004"]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+        assert_eq!(report.exit_code(false), 0, "warnings pass by default");
+        assert_eq!(report.exit_code(true), 1, "but fail under deny-warnings");
+    }
+
+    #[test]
+    fn honored_alignment_is_silent() {
+        let p = program();
+        let cache = CacheConfig::direct_mapped_8k();
+        let layout = Layout::source_order(&p);
+        let mut tuples = PlacementTuples::new(p.len(), cache.lines());
+        for id in p.ids() {
+            tuples.set_offset(id, cache.cache_line_of_addr(layout.addr(id)));
+        }
+        let input = AnalysisInput::new(&p, &layout, cache).with_tuples(&tuples);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(report.warning_count(), 0);
+    }
+
+    #[test]
+    fn tuple_geometry_mismatch_is_an_error() {
+        let p = program();
+        let layout = Layout::source_order(&p);
+        let tuples = PlacementTuples::new(p.len(), 64); // 2 KB worth of lines
+        let input =
+            AnalysisInput::new(&p, &layout, CacheConfig::direct_mapped_8k()).with_tuples(&tuples);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L004"]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn cold_before_hot_trips_l005() {
+        let p = Program::builder()
+            .procedure("f", 4096)
+            .procedure("g", 1024)
+            .build()
+            .unwrap();
+        let mut plan = SplitPlan::new();
+        plan.split_at(ProcId::new(0), 512);
+        let sp = SplitProgram::split(&p, &plan).unwrap();
+        let hot = sp.hot_part(ProcId::new(0));
+        let cold = sp.cold_part(ProcId::new(0)).unwrap();
+        // Place cold at 0, hot after it: inverted.
+        let order = vec![cold, sp.hot_part(ProcId::new(1)), hot];
+        let layout = Layout::from_order(sp.program(), &order).unwrap();
+        let input = AnalysisInput::new(sp.program(), &layout, CacheConfig::direct_mapped_8k())
+            .with_split(&sp);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L005"]);
+        assert_eq!(report.error_count(), 1);
+
+        // The proper order is silent.
+        let good =
+            Layout::from_order(sp.program(), &[hot, sp.hot_part(ProcId::new(1)), cold]).unwrap();
+        let input = AnalysisInput::new(sp.program(), &good, CacheConfig::direct_mapped_8k())
+            .with_split(&sp);
+        assert_eq!(Analyzer::new().analyze(&input).error_count(), 0);
+    }
+
+    #[test]
+    fn padding_blowup_trips_l006() {
+        let p = program(); // 350 bytes of code
+        let cache = CacheConfig::direct_mapped_8k();
+        // Span 50 KB: > 2x code and > 8 KB of padding.
+        let layout = Layout::from_addresses(vec![0, 25_000, 50_000]);
+        let input = AnalysisInput::new(&p, &layout, cache);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L006"]);
+
+        // A modest gap stays silent (padding below one cache).
+        let layout = Layout::from_addresses(vec![0, 2000, 4000]);
+        let input = AnalysisInput::new(&p, &layout, cache);
+        assert_eq!(Analyzer::new().analyze(&input).warning_count(), 0);
+    }
+
+    #[test]
+    fn unaligned_popular_trips_l007() {
+        let p = program();
+        let cache = CacheConfig::direct_mapped_8k();
+        let layout = Layout::source_order(&p);
+        let popular = PopularSet::from_parts(vec![true, false, true], vec![10, 0, 10]);
+        let mut tuples = PlacementTuples::new(p.len(), cache.lines());
+        tuples.set_offset(
+            ProcId::new(0),
+            cache.cache_line_of_addr(layout.addr(ProcId::new(0))),
+        );
+        // c is popular but never aligned.
+        let input = AnalysisInput::new(&p, &layout, cache)
+            .with_popular(&popular)
+            .with_tuples(&tuples);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L007"]);
+        assert_eq!(report.diagnostics()[0].procs, vec![ProcId::new(2)]);
+    }
+
+    #[test]
+    fn chunk_integrity_holds_for_builder_programs() {
+        let p = Program::builder()
+            .procedure("x", 300)
+            .procedure("y", 256)
+            .procedure("z", 1)
+            .chunk_size(256)
+            .build()
+            .unwrap();
+        let layout = Layout::source_order(&p);
+        let input = AnalysisInput::new(&p, &layout, CacheConfig::direct_mapped_8k());
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(report.error_count(), 0);
+    }
+}

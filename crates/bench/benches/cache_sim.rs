@@ -3,6 +3,8 @@
 //! Every Figure 5 point costs one full trace simulation, so the simulator's
 //! records/second rate bounds the whole evaluation pipeline.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tempo::prelude::*;
 use tempo::workloads::suite;

@@ -5,6 +5,8 @@
 //! evaluation (mutate → linearize → metric + simulate) — so regressions in
 //! any stage show up as a slowdown of the figure that exercises it.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -5,6 +5,8 @@
 //! hardware. These benches measure how PH, HKC, and GBSC scale in P (via
 //! benchmark choice) and how GBSC scales in C (via cache size).
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tempo::prelude::*;
 use tempo::workloads::suite;

@@ -5,6 +5,8 @@
 //! grain + chunk-grain TRG construction, with and without the §6 pair
 //! database.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tempo::prelude::*;
 use tempo::workloads::suite;

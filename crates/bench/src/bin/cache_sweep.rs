@@ -11,7 +11,7 @@
 
 use tempo::prelude::*;
 use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+use tempo_bench::{checked_place, CommonArgs};
 
 fn main() {
     let args = CommonArgs::parse(150_000, 1);
@@ -31,9 +31,9 @@ fn main() {
             let session = Session::new(program, cache).profile(&train);
             let mr = |l: &Layout| session.evaluate(l, &test).miss_rate() * 100.0;
             let d = mr(&Layout::source_order(program));
-            let ph = mr(&session.place(&PettisHansen::new()));
-            let hkc = mr(&session.place(&CacheColoring::new()));
-            let gbsc = mr(&session.place(&Gbsc::new()));
+            let ph = mr(&checked_place(&session, &PettisHansen::new()));
+            let hkc = mr(&checked_place(&session, &CacheColoring::new()));
+            let gbsc = mr(&checked_place(&session, &Gbsc::new()));
             println!("{kb:>6}KB {d:>8.2}% {ph:>8.2}% {hkc:>8.2}% {gbsc:>8.2}%");
             csv.push(format!(
                 "{},{kb},{d:.4},{ph:.4},{hkc:.4},{gbsc:.4}",

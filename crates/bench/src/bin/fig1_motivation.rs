@@ -20,6 +20,7 @@ use tempo::prelude::*;
 
 const SLOT: u64 = 672; // 21 cache lines: three slots fill a 2 KB cache
 
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 fn main() {
     let program = Program::builder()
         .procedure("M", SLOT as u32)

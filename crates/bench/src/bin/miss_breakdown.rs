@@ -13,7 +13,7 @@
 use tempo::cache::classify;
 use tempo::prelude::*;
 use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+use tempo_bench::{checked_place, CommonArgs};
 
 fn main() {
     let args = CommonArgs::parse(150_000, 1);
@@ -32,9 +32,9 @@ fn main() {
         );
         let layouts: Vec<(&str, Layout)> = vec![
             ("default", Layout::source_order(program)),
-            ("PH", session.place(&PettisHansen::new())),
-            ("HKC", session.place(&CacheColoring::new())),
-            ("GBSC", session.place(&Gbsc::new())),
+            ("PH", checked_place(&session, &PettisHansen::new())),
+            ("HKC", checked_place(&session, &CacheColoring::new())),
+            ("GBSC", checked_place(&session, &Gbsc::new())),
         ];
         for (name, layout) in &layouts {
             let b = classify(program, layout, &test, cache);

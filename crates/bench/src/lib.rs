@@ -6,8 +6,8 @@
 //! argument parsing, the standard trace lengths, CSV emission, and simple
 //! statistics.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// In the test build, `unwrap` IS the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
 use std::fmt::Write as _;
 
@@ -75,6 +75,32 @@ impl CommonArgs {
         }
         args
     }
+}
+
+/// Places with `algorithm` and asserts the layout passes the static
+/// analyzer ([`tempo::analyze`]).
+///
+/// Experiment binaries go through this instead of
+/// [`ProfiledSession::place`](tempo::ProfiledSession::place) so a broken
+/// placement aborts the run instead of silently contributing numbers from
+/// an invalid layout.
+///
+/// # Panics
+///
+/// Panics with the rendered report when the analyzer finds
+/// error-severity diagnostics.
+pub fn checked_place(
+    session: &tempo::ProfiledSession<'_>,
+    algorithm: &dyn tempo::place::PlacementAlgorithm,
+) -> tempo::program::Layout {
+    let (layout, report) = session.place_checked(algorithm);
+    assert!(
+        report.error_count() == 0,
+        "{} produced a layout failing static analysis:\n{}",
+        algorithm.name(),
+        report.render_text(session.program())
+    );
+    layout
 }
 
 /// Writes `rows` as CSV to `path` with the given header.

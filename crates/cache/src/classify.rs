@@ -179,7 +179,7 @@ mod tests {
     fn two_way_classification_identity() {
         let p = prog();
         let l = Layout::source_order(&p);
-        let refs = vec![ProcId::new(0), ProcId::new(2), ProcId::new(1)].repeat(6);
+        let refs = [ProcId::new(0), ProcId::new(2), ProcId::new(1)].repeat(6);
         let t = Trace::from_full_records(&p, refs);
         let cfg = CacheConfig::two_way_8k();
         let b = classify(&p, &l, &t, cfg);

@@ -143,12 +143,14 @@ impl CacheConfig {
     /// The cache line index a byte address maps to in a direct-mapped cache
     /// (`(addr / line_size) mod lines`) — the paper's mapping function in §3.
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn cache_line_of_addr(&self, addr: u64) -> u32 {
         (self.line_of_addr(addr) % u64::from(self.lines())) as u32
     }
 
     /// The set index of a memory line.
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn set_of_line(&self, line: u64) -> u32 {
         (line % u64::from(self.sets())) as u32
     }

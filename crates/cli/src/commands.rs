@@ -257,8 +257,76 @@ pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `analyze`: reuse-distance and working-set statistics for a trace.
+/// `analyze`: lint a layout and statically predict its conflict misses.
+///
+/// Exit status: `0` when the report is clean, `1` when it contains
+/// error-severity diagnostics (or any warnings under `--deny warnings`),
+/// `2` on usage errors — the contract CI pipelines rely on.
 pub fn analyze(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    // Deliberately *not* `load_layout`: that helper rejects invalid
+    // layouts up front, but reporting what is wrong with them is this
+    // command's whole job.
+    let layout_path = args.require("layout")?;
+    let layout =
+        tempo::program::io::read_layout(open(layout_path)?).map_err(|e| CliError::Parse {
+            what: "layout",
+            message: e.to_string(),
+        })?;
+    let profile = match args.get("profile") {
+        Some(path) => Some(read_profile(open(path)?).map_err(|e| CliError::Parse {
+            what: "profile",
+            message: e.to_string(),
+        })?),
+        None => None,
+    };
+    // Explicit --cache wins; otherwise inherit the profile's geometry.
+    let cache = match (args.get("cache").is_some(), &profile) {
+        (false, Some(p)) => p.cache,
+        _ => args.cache()?,
+    };
+    let format = args.get("format").unwrap_or("text").to_string();
+    let deny_warnings = match args.get("deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--deny only supports `warnings`, got `{other}`"
+            )))
+        }
+    };
+    let top_k: usize = args.get_or("top", 8)?;
+    args.finish()?;
+
+    let mut input = AnalysisInput::new(&program, &layout, cache);
+    if let Some(p) = &profile {
+        input = input
+            .with_trg_place(&p.trg_place)
+            .with_wcg(&p.wcg)
+            .with_popular(&p.popular);
+    }
+    let report = Analyzer::new().with_top_k(top_k).analyze(&input);
+    match format.as_str() {
+        "text" => print!("{}", report.render_text(&program)),
+        "json" => println!("{}", report.render_json(&program)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--format must be text or json, got `{other}`"
+            )))
+        }
+    }
+    if report.is_clean(deny_warnings) {
+        Ok(())
+    } else {
+        Err(CliError::Diagnostics {
+            errors: report.error_count(),
+            warnings: report.warning_count(),
+        })
+    }
+}
+
+/// `trace-stats`: reuse-distance and working-set statistics for a trace.
+pub fn trace_stats(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
     let trace = load_trace(args, "trace", &program)?;
     let cache = args.cache()?;

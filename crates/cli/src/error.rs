@@ -21,6 +21,14 @@ pub enum CliError {
     /// Inputs are mutually inconsistent (e.g. trace references procedures
     /// the program does not define).
     Inconsistent(String),
+    /// `analyze` found failing diagnostics; the report was already
+    /// printed, this only carries the counts for the exit status.
+    Diagnostics {
+        /// Error-severity findings.
+        errors: usize,
+        /// Warning-severity findings (failing only under `--deny warnings`).
+        warnings: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -30,6 +38,10 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Parse { what, message } => write!(f, "failed to read {what}: {message}"),
             CliError::Inconsistent(msg) => write!(f, "inconsistent inputs: {msg}"),
+            CliError::Diagnostics { errors, warnings } => write!(
+                f,
+                "analysis failed: {errors} error(s), {warnings} warning(s)"
+            ),
         }
     }
 }

@@ -1,6 +1,12 @@
 //! `tempo-cli` entry point: parse, dispatch, report.
+//!
+//! Exit-code contract (kept stable for CI callers):
+//! `0` success, `1` pipeline failure or failing diagnostics, `2` usage
+//! error.
 
 use std::process::ExitCode;
+
+use tempo_cli::CliError;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -8,7 +14,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("tempo-cli: {e}");
-            ExitCode::FAILURE
+            match e {
+                CliError::Usage(_) => ExitCode::from(2),
+                _ => ExitCode::FAILURE,
+            }
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Integration tests driving the whole CLI pipeline through
 //! `tempo_cli::run`, exactly as a shell user would.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use std::path::PathBuf;
 
 fn workdir(tag: &str) -> PathBuf {
@@ -85,13 +87,38 @@ fn full_pipeline_generate_profile_place_simulate() {
     ]))
     .expect("simulate");
     run(&cmd(&[
-        "analyze",
+        "trace-stats",
         "--program",
         &p("prog"),
         "--trace",
         &p("train"),
     ]))
-    .expect("analyze");
+    .expect("trace-stats");
+    // The linter passes every algorithm's layout, with and without profile.
+    for alg in ["gbsc", "ph", "hkc", "default"] {
+        run(&cmd(&[
+            "analyze",
+            "--program",
+            &p("prog"),
+            "--layout",
+            &p(&format!("{alg}.layout")),
+            "--profile",
+            &p("profile"),
+            "--format",
+            "json",
+            "--deny",
+            "warnings",
+        ]))
+        .unwrap_or_else(|e| panic!("analyze {alg}: {e}"));
+    }
+    run(&cmd(&[
+        "analyze",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("gbsc.layout"),
+    ]))
+    .expect("analyze without profile");
     run(&cmd(&[
         "compare",
         "--program",
@@ -207,7 +234,7 @@ fn inconsistent_inputs_are_detected() {
     ]))
     .expect("generate go");
     let err = run(&cmd(&[
-        "analyze",
+        "trace-stats",
         "--program",
         &p("perl.procs"),
         "--trace",
@@ -215,5 +242,53 @@ fn inconsistent_inputs_are_detected() {
     ]))
     .unwrap_err();
     assert!(err.to_string().contains("inconsistent"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_fails_on_corrupt_layout() {
+    let dir = workdir("lint");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "m88ksim",
+        "--records",
+        "2000",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+    ]))
+    .expect("generate");
+
+    // An overlapping layout, written through the real layout format.
+    let program = {
+        let f = std::fs::File::open(p("prog")).expect("open program");
+        tempo::program::io::read_program(std::io::BufReader::new(f)).expect("read program")
+    };
+    let mut addrs: Vec<u64> = Vec::new();
+    let mut at = 0u64;
+    for id in program.ids() {
+        addrs.push(at);
+        at += u64::from(program.size_of(id));
+    }
+    addrs[1] = addrs[0] + 1; // overlap the first two procedures
+    let corrupt = tempo::program::Layout::from_addresses(addrs);
+    let f = std::fs::File::create(p("bad.layout")).expect("create layout");
+    tempo::program::io::write_layout(std::io::BufWriter::new(f), &corrupt).expect("write layout");
+
+    let err = run(&cmd(&[
+        "analyze",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("bad.layout"),
+    ]))
+    .unwrap_err();
+    match err {
+        tempo_cli::CliError::Diagnostics { errors, .. } => assert!(errors >= 1),
+        other => panic!("expected failing diagnostics, got: {other}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

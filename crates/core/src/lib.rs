@@ -45,11 +45,12 @@
 //! ```
 //!
 //! The sub-crates are re-exported under their domain names: [`program`],
-//! [`trace`], [`cache`], [`trg`], [`place`], [`workloads`].
+//! [`trace`], [`cache`], [`trg`], [`place`], [`analyze`], [`workloads`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// In the test build, `unwrap` IS the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
+pub use tempo_analyze as analyze;
 pub use tempo_cache as cache;
 pub use tempo_place as place;
 pub use tempo_program as program;
@@ -65,6 +66,7 @@ pub use session::{ProfiledSession, Session};
 
 /// Convenient glob-import surface: the types used in almost every program.
 pub mod prelude {
+    pub use tempo_analyze::{AnalysisInput, AnalysisReport, Analyzer};
     pub use tempo_cache::{simulate, CacheConfig, InstructionCache, SimStats};
     pub use tempo_place::{
         CacheColoring, Gbsc, GbscSetAssoc, PettisHansen, PlacementAlgorithm, PlacementContext,

@@ -97,6 +97,23 @@ impl<'p> ProfiledSession<'p> {
         algorithm.place(&self.context())
     }
 
+    /// Runs a placement algorithm and lints the result with
+    /// [`tempo_analyze`], returning the layout together with the report.
+    ///
+    /// The report carries every structural finding plus the static
+    /// conflict prediction; callers decide how strict to be (the CLI and
+    /// the benches fail on error-severity diagnostics).
+    pub fn place_checked<A: PlacementAlgorithm + ?Sized>(
+        &self,
+        algorithm: &A,
+    ) -> (Layout, tempo_analyze::AnalysisReport) {
+        let layout = self.place(algorithm);
+        let input =
+            tempo_analyze::AnalysisInput::from_profile(self.program, &layout, &self.profile);
+        let report = tempo_analyze::Analyzer::new().analyze(&input);
+        (layout, report)
+    }
+
     /// Simulates a layout against a trace on this session's cache.
     pub fn evaluate(&self, layout: &Layout, trace: &Trace) -> SimStats {
         simulate(self.program, layout, trace, self.profile.cache)
@@ -147,6 +164,18 @@ mod tests {
         assert!(sg.misses < sd.misses);
         assert_eq!(session.cache(), CacheConfig::direct_mapped_8k());
         assert_eq!(session.program().len(), 3);
+    }
+
+    #[test]
+    fn place_checked_is_clean_for_real_algorithms() {
+        let (program, trace) = setup();
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let (layout, report) = session.place_checked(&Gbsc::new());
+        layout.validate(&program).unwrap();
+        assert_eq!(report.error_count(), 0, "{}", report.render_text(&program));
+        assert!(report.prediction().is_some());
     }
 
     #[test]

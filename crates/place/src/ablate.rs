@@ -85,6 +85,7 @@ impl PlacementAlgorithm for WcgOffsets {
 /// Greedy chain merge over an arbitrary selection graph, PH-style.
 /// Returns a full procedure order (graph nodes first, grouped by chain
 /// weight; procedures absent from the graph appended in id order).
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 fn chain_merge_order(ctx: &PlacementContext<'_>, selection: &WeightedGraph) -> Vec<ProcId> {
     use std::collections::HashMap;
 

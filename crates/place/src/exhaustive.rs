@@ -43,7 +43,7 @@ pub fn optimal_order(program: &Program, trace: &Trace, cache: CacheConfig) -> (L
     permute(&mut order, 0, &mut |perm| {
         let layout = Layout::from_order(program, perm).expect("permutation");
         let misses = simulate(program, &layout, trace, cache).misses;
-        if best.as_ref().map_or(true, |(b, _)| misses < *b) {
+        if best.as_ref().is_none_or(|(b, _)| misses < *b) {
             best = Some((misses, layout));
         }
     });
@@ -88,6 +88,7 @@ pub fn optimal_offsets(
     let mut offsets = vec![0u32; ids.len()];
     let mut best: Option<(u64, Layout)> = None;
 
+    #[allow(clippy::too_many_arguments)] // recursion carries the whole search state
     fn descend(
         program: &Program,
         trace: &Trace,
@@ -104,7 +105,7 @@ pub fn optimal_offsets(
                 ids.iter().copied().zip(offsets.iter().copied()).collect();
             let layout = linearize(program, cache, &aligned, &[]);
             let misses = simulate(program, &layout, trace, cache).misses;
-            if best.as_ref().map_or(true, |(b, _)| misses < *b) {
+            if best.as_ref().is_none_or(|(b, _)| misses < *b) {
                 *best = Some((misses, layout));
             }
             return;

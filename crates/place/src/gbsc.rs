@@ -67,6 +67,7 @@ impl PlacementTuples {
     }
 
     /// `(procedure, offset)` pairs for every aligned procedure, id order.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn aligned(&self) -> Vec<(ProcId, u32)> {
         self.offsets
             .iter()
@@ -76,6 +77,7 @@ impl PlacementTuples {
     }
 
     /// Procedures without an alignment, id order.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn rest(&self) -> Vec<ProcId> {
         self.offsets
             .iter()
@@ -197,6 +199,7 @@ impl<'a> Merger<'a> {
     /// Runs the greedy merge loop with `cost(self, u, v) -> acc` supplying
     /// the per-offset cost of aligning node `v` against node `u`, and
     /// returns the final tuples.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     fn run<F>(
         mut self,
         trg_select: &WeightedGraph,
@@ -250,6 +253,7 @@ impl Gbsc {
     /// Runs only the merging phase, returning the cache-relative alignments
     /// (useful for experiments that manipulate offsets before
     /// linearization, like the paper's Figure 6).
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn place_tuples(&self, ctx: &PlacementContext<'_>) -> PlacementTuples {
         let merger = Merger::new(ctx.program, ctx.profile);
         let trg_place = &ctx.profile.trg_place;

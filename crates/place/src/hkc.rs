@@ -34,6 +34,7 @@ impl CacheColoring {
     }
 
     /// Runs only the merging phase, returning cache-relative alignments.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn place_tuples(&self, ctx: &PlacementContext<'_>) -> PlacementTuples {
         let program = ctx.program;
         let profile = ctx.profile;

@@ -7,8 +7,47 @@
 //! [`wcg_conflict_cost`] reproduce both sides of that figure.
 
 use tempo_cache::CacheConfig;
-use tempo_program::{Chunks, Layout, Program};
+use tempo_program::{ChunkId, Chunks, Layout, ProcId, Program};
 use tempo_trg::WeightedGraph;
+
+/// One chunk resident on a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineOccupant {
+    /// The resident chunk.
+    pub chunk: ChunkId,
+    /// The procedure owning the chunk.
+    pub owner: ProcId,
+}
+
+/// Per-cache-line chunk occupancy of a layout: `occupancy[l]` lists every
+/// chunk at least one byte of which maps to cache line `l`.
+///
+/// Each chunk appears **at most once per line**: a chunk spanning more
+/// lines than the cache has wraps around and re-touches lines it already
+/// occupies, which must not double-count it (a block cannot conflict with
+/// itself). The iteration is capped at `cache.lines()` positions per
+/// chunk, which visits every distinct line exactly once.
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+pub fn chunk_occupancy(
+    program: &Program,
+    layout: &Layout,
+    cache: CacheConfig,
+) -> Vec<Vec<LineOccupant>> {
+    let lines = cache.lines();
+    let mut occupancy: Vec<Vec<LineOccupant>> = vec![Vec::new(); lines as usize];
+    for info in Chunks::new(program) {
+        let addr = layout.addr(info.owner) + u64::from(info.offset);
+        let nlines = cache.lines_touched(addr, info.len).min(u64::from(lines)) as u32;
+        let first = cache.cache_line_of_addr(addr);
+        for k in 0..nlines {
+            occupancy[((first + k) % lines) as usize].push(LineOccupant {
+                chunk: info.id,
+                owner: info.owner,
+            });
+        }
+    }
+    occupancy
+}
 
 /// Sum over every cache line of the pairwise `TRG_place` weights of the
 /// chunks co-resident on that line — the paper's conflict metric evaluated
@@ -22,22 +61,22 @@ pub fn trg_conflict_cost(
     trg_place: &WeightedGraph,
     cache: CacheConfig,
 ) -> f64 {
-    let lines = cache.lines() as usize;
-    let mut occupancy: Vec<Vec<u32>> = vec![Vec::new(); lines];
-    for info in Chunks::new(program) {
-        let addr = layout.addr(info.owner) + u64::from(info.offset);
-        let nlines = cache.lines_touched(addr, info.len).min(lines as u64);
-        let first = cache.cache_line_of_addr(addr);
-        for k in 0..nlines as u32 {
-            occupancy[((first + k) % lines as u32) as usize].push(info.id.index());
+    let occupancy = chunk_occupancy(program, layout, cache);
+    let mut cost = 0.0;
+    for line in &occupancy {
+        for i in 0..line.len() {
+            for j in (i + 1)..line.len() {
+                cost += trg_place.weight(line[i].chunk.index(), line[j].chunk.index());
+            }
         }
     }
-    pairwise_cost(&occupancy, trg_place)
+    cost
 }
 
 /// Sum over every cache line of the pairwise **WCG** weights of the
 /// procedures co-resident on that line — the "call-graph only" metric the
 /// bottom half of Figure 6 shows to be a poor predictor.
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 pub fn wcg_conflict_cost(
     program: &Program,
     layout: &Layout,
@@ -160,6 +199,31 @@ mod tests {
         let g = WeightedGraph::new();
         assert_eq!(trg_conflict_cost(&program, &layout, &g, cache), 0.0);
         assert_eq!(wcg_conflict_cost(&program, &layout, &g, cache), 0.0);
+    }
+
+    #[test]
+    fn chunk_larger_than_cache_occupies_each_line_once() {
+        // One chunk per procedure, each chunk twice the cache size: the
+        // chunk wraps the cache twice, but must occupy each line exactly
+        // once, so a hot pair contributes weight × lines — not 2× that.
+        let cache = CacheConfig::direct_mapped_8k();
+        let program = Program::builder()
+            .procedure("a", 16 * 1024)
+            .procedure("b", 16 * 1024)
+            .chunk_size(16 * 1024)
+            .build()
+            .unwrap();
+        let layout = Layout::source_order(&program);
+        let occ = chunk_occupancy(&program, &layout, cache);
+        assert_eq!(occ.len(), cache.lines() as usize);
+        for line in &occ {
+            assert_eq!(line.len(), 2, "both chunks resident exactly once");
+            assert_ne!(line[0].chunk, line[1].chunk);
+        }
+        let mut g = WeightedGraph::new();
+        g.add_weight(0, 1, 3.0);
+        let cost = trg_conflict_cost(&program, &layout, &g, cache);
+        assert_eq!(cost, 3.0 * f64::from(cache.lines()));
     }
 
     #[test]

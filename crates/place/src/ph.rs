@@ -25,6 +25,7 @@ impl PettisHansen {
     }
 
     /// Runs the chain-merging phase, returning the final procedure order.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn place_order(&self, ctx: &PlacementContext<'_>) -> Vec<ProcId> {
         let program = ctx.program;
         let orig = &ctx.profile.wcg;

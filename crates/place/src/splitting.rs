@@ -72,6 +72,7 @@ impl SplitPlan {
     /// # Panics
     ///
     /// Panics if `coverage` is outside `(0, 1]` or `align` is zero.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn from_trace(program: &Program, trace: &Trace, coverage: f64, align: u32) -> SplitPlan {
         assert!(
             coverage > 0.0 && coverage <= 1.0,
@@ -161,6 +162,11 @@ impl SplitProgram {
     /// The rewritten program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Number of procedures in the *original* (pre-split) program.
+    pub fn original_len(&self) -> usize {
+        self.hot_of.len()
     }
 
     /// Number of procedures that were actually split.

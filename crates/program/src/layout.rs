@@ -128,6 +128,7 @@ impl Layout {
     }
 
     /// Procedure ids sorted by start address (ties by id).
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn order(&self) -> Vec<ProcId> {
         let mut ids: Vec<ProcId> = (0..self.addrs.len() as u32).map(ProcId::new).collect();
         ids.sort_by_key(|id| (self.addrs[id.as_usize()], id.index()));
@@ -269,7 +270,11 @@ impl<'p> LayoutBuilder<'p> {
             });
         }
         let layout = Layout {
-            addrs: self.addrs.iter().map(|a| a.unwrap()).collect(),
+            addrs: self
+                .addrs
+                .iter()
+                .map(|a| a.expect("all procedures placed, checked above"))
+                .collect(),
         };
         layout.validate(self.program)?;
         Ok(layout)

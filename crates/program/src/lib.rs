@@ -31,8 +31,8 @@
 //! # Ok::<(), tempo_program::ProgramError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// In the test build, `unwrap` IS the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
 mod chunk;
 mod error;

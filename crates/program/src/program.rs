@@ -99,6 +99,7 @@ impl Program {
     }
 
     /// Iterates over `(ProcId, &Procedure)` pairs in id order.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (ProcId, &Procedure)> + '_ {
         self.procs
             .iter()
@@ -107,6 +108,7 @@ impl Program {
     }
 
     /// Iterates over all procedure ids in id order.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn ids(&self) -> impl ExactSizeIterator<Item = ProcId> + DoubleEndedIterator {
         (0..self.procs.len() as u32).map(ProcId::new)
     }
@@ -132,6 +134,7 @@ impl Program {
     /// # Panics
     ///
     /// Panics if `chunk` is out of range for this program.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn chunk_owner(&self, chunk: ChunkId) -> (ProcId, u32) {
         let c = chunk.index();
         assert!(c < self.chunk_count(), "chunk id out of range");
@@ -230,6 +233,7 @@ impl ProgramBuilder {
     /// Returns an error if the program is empty, a procedure has size zero,
     /// two procedures share a name, or the chunk size is not a positive
     /// power of two.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn build(&self) -> Result<Program, ProgramError> {
         if self.procs.is_empty() {
             return Err(ProgramError::Empty);

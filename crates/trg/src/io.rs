@@ -81,6 +81,7 @@ impl From<std::io::Error> for ProfileIoError {
 /// # Errors
 ///
 /// Propagates writer errors.
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 pub fn write_profile<W: Write>(mut w: W, profile: &ProfileData) -> Result<(), ProfileIoError> {
     writeln!(w, "tempo-profile v1")?;
     writeln!(

@@ -75,6 +75,7 @@ impl PopularitySelector {
     /// # Panics
     ///
     /// Panics if `counts.len() != program.len()`.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn from_counts(&self, program: &Program, counts: &[u64]) -> PopularSet {
         assert_eq!(counts.len(), program.len(), "one count per procedure");
         let total: u64 = counts.iter().sum();
@@ -147,6 +148,7 @@ impl PopularSet {
     }
 
     /// Popular procedure ids, ascending.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn iter(&self) -> impl Iterator<Item = ProcId> + '_ {
         self.popular
             .iter()
@@ -156,6 +158,7 @@ impl PopularSet {
     }
 
     /// Unpopular procedure ids, ascending.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn iter_unpopular(&self) -> impl Iterator<Item = ProcId> + '_ {
         self.popular
             .iter()

@@ -71,6 +71,7 @@ impl CallGraphBuilder {
     }
 
     /// Declares a procedure; returns its id.
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn procedure(&mut self, name: impl Into<String>, size: u32) -> ProcId {
         self.procs.push((name.into(), size));
         self.sites.push(Vec::new());
@@ -204,6 +205,7 @@ impl CallGraphWorkload {
         Trace::from_records(out.build().into_iter().take(len).collect())
     }
 
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     fn invoke(
         &self,
         proc: ProcId,

@@ -148,6 +148,7 @@ impl<'m> Executor<'m> {
 }
 
 /// Geometric-ish dwell with the given mean (at least 1).
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 fn sample_dwell(rng: &mut StdRng, mean: u32, factor: f64) -> u32 {
     let mean = (f64::from(mean) * factor).max(1.0);
     // Exponential with the requested mean, discretized.
@@ -157,6 +158,7 @@ fn sample_dwell(rng: &mut StdRng, mean: u32, factor: f64) -> u32 {
 
 /// Number of calls a driver makes in one invocation: mean `fanout`,
 /// clamped into `1..=24`.
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 fn sample_fanout(rng: &mut StdRng, fanout: f64) -> u32 {
     let u: f64 = rng.gen::<f64>().max(1e-12);
     (((-u.ln()) * fanout).round() as u32).clamp(1, 24)

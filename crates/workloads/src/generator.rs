@@ -43,6 +43,7 @@ impl BenchmarkModel {
     /// # Panics
     ///
     /// Panics if the spec fails [`WorkloadSpec::validate`].
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     pub fn build(spec: WorkloadSpec, training: InputSpec, testing: InputSpec) -> Self {
         spec.validate();
         let mut rng = StdRng::seed_from_u64(spec.build_seed);
@@ -225,6 +226,7 @@ impl BenchmarkModel {
 
 /// Samples `n` lognormal sizes and scales them to sum to `budget` bytes
 /// (each at least 16 bytes, rounded to 4).
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 fn scaled_sizes(rng: &mut StdRng, n: usize, budget: u64, sigma: f64) -> Vec<u32> {
     assert!(n > 0, "need at least one size");
     let raw: Vec<f64> = (0..n).map(|_| lognormal(rng, 0.0, sigma)).collect();

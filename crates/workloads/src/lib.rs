@@ -33,8 +33,8 @@
 //! train.validate(program).unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// In the test build, `unwrap` IS the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
 pub mod callgraph;
 mod exec;

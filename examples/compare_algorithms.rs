@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example compare_algorithms [records]`
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::prelude::*;
 use tempo::workloads::suite;
 

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example custom_workload`
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::prelude::*;
 use tempo::workloads::{BenchmarkModel, InputSpec, WorkloadSpec};
 

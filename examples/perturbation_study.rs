@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example perturbation_study [runs]`
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tempo::prelude::*;

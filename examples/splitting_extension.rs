@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example splitting_extension`
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::place::splitting::{SplitPlan, SplitProgram};
 use tempo::prelude::*;
 use tempo::workloads::suite;

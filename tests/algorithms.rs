@@ -1,6 +1,8 @@
 //! Cross-crate behavioral tests of the placement algorithms on scenarios
 //! transcribed from the paper.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::prelude::*;
 
 /// Figure 1, scaled: M plus leaves X, Y (and a spare Z), three of which fit

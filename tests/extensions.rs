@@ -2,6 +2,8 @@
 //! classification, trace analysis, profile serialization, and the
 //! exhaustive reference search — all running against the workload suite.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::cache::classify;
 use tempo::place::splitting::{SplitPlan, SplitProgram};
 use tempo::prelude::*;

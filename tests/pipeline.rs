@@ -1,6 +1,8 @@
 //! End-to-end pipeline tests spanning every crate: program construction,
 //! trace generation, profiling, placement, linearization, and simulation.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::prelude::*;
 use tempo::workloads::{BenchmarkModel, InputSpec, WorkloadSpec};
 

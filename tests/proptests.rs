@@ -2,6 +2,8 @@
 //! algebra, layout legality, cache-simulator behavior, and placement
 //! robustness on arbitrary programs/traces.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use proptest::prelude::*;
 use tempo::prelude::*;
 use tempo::trg::{QSet, WeightedGraph};
@@ -244,6 +246,97 @@ proptest! {
         layout.validate(&program).unwrap();
         prop_assert_eq!(layout.order(), order);
         prop_assert_eq!(layout.padding(&program), 0);
+    }
+
+    #[test]
+    fn from_order_of_order_repacks_any_layout(
+        program in arb_program(),
+        seed in any::<u64>(),
+        pad in 0u64..200,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        // Round-trip: `from_order` ∘ `order` is the identity on gap-free
+        // layouts, and on padded layouts it recovers the gap-free packing
+        // of the same order.
+        let mut order: Vec<ProcId> = program.ids().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let packed = Layout::from_order(&program, &order).unwrap();
+        prop_assert_eq!(
+            &Layout::from_order(&program, &packed.order()).unwrap(),
+            &packed
+        );
+        let padded = packed.with_uniform_padding(&program, pad);
+        prop_assert_eq!(padded.order(), packed.order());
+        prop_assert_eq!(
+            &Layout::from_order(&program, &padded.order()).unwrap(),
+            &packed
+        );
+    }
+
+    #[test]
+    fn validate_rejects_every_overlap_creating_mutation(
+        program in arb_program(),
+        seed in any::<u64>(),
+        victim_pick in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut order: Vec<ProcId> = program.ids().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let layout = Layout::from_order(&program, &order).unwrap();
+        layout.validate(&program).unwrap();
+        // Moving any procedure one byte into the victim's body overlaps
+        // (procedures are at least 16 bytes, so the victim spans that byte).
+        let victim = ProcId::new((victim_pick % program.len() as u64) as u32);
+        let inside = layout.addr(victim) + 1;
+        for id in program.ids().filter(|&id| id != victim) {
+            let mut addrs: Vec<u64> = program.ids().map(|i| layout.addr(i)).collect();
+            addrs[id.as_usize()] = inside;
+            let mutated = Layout::from_addresses(addrs);
+            prop_assert!(
+                mutated.validate(&program).is_err(),
+                "moving {} into {} must be rejected",
+                id,
+                victim
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_padding_inserts_exactly_pad_bytes_per_procedure(
+        program in arb_program(),
+        seed in any::<u64>(),
+        pad in 0u64..5000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut order: Vec<ProcId> = program.ids().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let layout = Layout::from_order(&program, &order).unwrap();
+        let padded = layout.with_uniform_padding(&program, pad);
+        padded.validate(&program).unwrap();
+        // Every procedure is followed by exactly `pad` bytes: each of the
+        // len-1 interior gaps is `pad` wide (the trailing pad falls outside
+        // `span`, so `padding()` sees pad × (len − 1) of the pad × len
+        // bytes inserted).
+        for pair in padded.order().windows(2) {
+            prop_assert_eq!(
+                padded.addr(pair[1]) - padded.end_addr(pair[0], &program),
+                pad
+            );
+        }
+        prop_assert_eq!(
+            padded.padding(&program),
+            pad * (program.len() as u64 - 1)
+        );
+        prop_assert_eq!(
+            padded.span(&program) + pad,
+            program.total_size() + pad * program.len() as u64
+        );
     }
 
     #[test]

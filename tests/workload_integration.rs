@@ -2,6 +2,8 @@
 //! and placement stack: do the synthetic benchmarks behave like the paper's
 //! benchmarks in the ways that matter?
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test/demo code asserts by panicking
+
 use tempo::prelude::*;
 use tempo::workloads::suite;
 

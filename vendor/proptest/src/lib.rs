@@ -1,0 +1,436 @@
+//! A tiny, dependency-free, deterministic stand-in for the subset of the
+//! `proptest` 1.x API the tempo workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this vendored stub
+//! supplies the same macros (`proptest!`, `prop_compose!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`) and combinators (`Strategy`,
+//! `prop_map`, `prop::collection::vec`, `Just`, `any`) over a seeded RNG.
+//! Differences from real proptest: no shrinking, no persistence files, and
+//! the per-test seed is a hash of the test name (so runs are fully
+//! reproducible across machines).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// The RNG threaded through every strategy.
+pub type TestRng = StdRng;
+
+/// Per-proptest-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; we default lower to keep the
+        // whole-workspace test suite fast in debug builds.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy backed by a plain closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    /// Wraps `f` as a strategy.
+    pub fn new(f: F) -> Self {
+        FnStrategy(f)
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Full-domain strategies, the output of [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy over the whole domain of `T` (integers: full range; floats:
+/// unit interval; bool: fair coin).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rand::Standard::sample(rng)
+    }
+}
+
+/// Namespaced combinators (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::SampleRange;
+        use std::ops::Range;
+
+        /// A vector strategy: length drawn from `size`, elements from
+        /// `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of `element` with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = SampleRange::sample_single(self.size.clone(), rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Drives `case` for `config.cases` iterations with a name-seeded RNG.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) when a case returns `Err`.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    // FNV-1a over the test name: deterministic cross-platform seeding.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    for i in 0..config.cases {
+        if let Err(msg) = case(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {i}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Declares property tests: each `#[test] fn name(bindings in strategies)`
+/// runs its body over `ProptestConfig::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])+
+      fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Declares a named composite strategy function, optionally in two stages
+/// (the second stage may reference bindings of the first).
+#[macro_export]
+macro_rules! prop_compose {
+    ($vis:vis fn $name:ident($($p:ident: $pt:ty),* $(,)?)
+        ($($b1:pat in $s1:expr),+ $(,)?)
+        ($($b2:pat in $s2:expr),+ $(,)?)
+     -> $out:ty $body:block
+    ) => {
+        $vis fn $name($($p: $pt),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy::new(move |__rng: &mut $crate::TestRng| {
+                $(let $b1 = $crate::Strategy::sample(&($s1), __rng);)+
+                $(let $b2 = $crate::Strategy::sample(&($s2), __rng);)+
+                $body
+            })
+        }
+    };
+    ($vis:vis fn $name:ident($($p:ident: $pt:ty),* $(,)?)
+        ($($b1:pat in $s1:expr),+ $(,)?)
+     -> $out:ty $body:block
+    ) => {
+        $vis fn $name($($p: $pt),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy::new(move |__rng: &mut $crate::TestRng| {
+                $(let $b1 = $crate::Strategy::sample(&($s1), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assert_eq failed at {}:{}: {:?} != {:?}",
+                file!(), line!(), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assert_eq failed at {}:{}: {:?} != {:?}: {}",
+                file!(), line!(), a, b, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "assert_ne failed at {}:{}: both {:?}",
+                file!(),
+                line!(),
+                a
+            ));
+        }
+    }};
+}
+
+/// Silently discards the current case unless `cond` holds (the stub counts
+/// discarded cases as passes; there is no retry budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
+        proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0u32..10)(b in 0u32..10, a in Just(a)) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5u32..15, y in 0.25f64..0.75) {
+            prop_assert!((5..15).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..3, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in &v {
+                prop_assert!(*e < 3);
+            }
+        }
+
+        #[test]
+        fn composed_strategy_samples((a, b) in pair()) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assume!(a != b); // exercises the discard path
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_compiles(x in any::<u64>()) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics() {
+        crate::run_cases(&ProptestConfig::with_cases(4), "boom", |_rng| {
+            Err("nope".to_string())
+        });
+    }
+}
