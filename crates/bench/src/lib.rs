@@ -26,8 +26,9 @@ pub const DEFAULT_TEST_LEN: usize = 400_000;
 
 /// Parses `--records N` and `--seed N` style overrides from `args`.
 ///
-/// Recognized flags: `--records`, `--seed`, `--runs`, `--out`. Unknown
-/// flags are ignored so binaries can layer their own.
+/// Recognized flags: `--records`, `--seed`, `--runs`, `--out`,
+/// `--budget-ms`. Unknown flags are ignored so binaries can layer their
+/// own.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommonArgs {
     /// Trace length override.
@@ -38,6 +39,9 @@ pub struct CommonArgs {
     pub runs: usize,
     /// Optional CSV output path.
     pub out: Option<String>,
+    /// Optional wall-clock budget per placement (milliseconds); placements
+    /// degrade through the fallback chain instead of overrunning.
+    pub budget_ms: Option<u64>,
 }
 
 impl CommonArgs {
@@ -48,6 +52,7 @@ impl CommonArgs {
             seed: 0xBA5E,
             runs: default_runs,
             out: None,
+            budget_ms: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -70,10 +75,22 @@ impl CommonArgs {
                 "--out" => {
                     args.out = it.next();
                 }
+                "--budget-ms" => {
+                    args.budget_ms = it.next().and_then(|s| s.parse().ok());
+                }
                 _ => {}
             }
         }
         args
+    }
+
+    /// The placement [`Budget`](tempo::place::Budget) these arguments
+    /// imply (unlimited when `--budget-ms` was not given).
+    pub fn budget(&self) -> tempo::place::Budget {
+        match self.budget_ms {
+            Some(ms) => tempo::place::Budget::millis(ms),
+            None => tempo::place::Budget::unlimited(),
+        }
     }
 }
 
@@ -93,14 +110,37 @@ pub fn checked_place(
     session: &tempo::ProfiledSession<'_>,
     algorithm: &dyn tempo::place::PlacementAlgorithm,
 ) -> tempo::program::Layout {
-    let (layout, report) = session.place_checked(algorithm);
+    checked_place_budgeted(session, algorithm, tempo::place::Budget::unlimited()).0
+}
+
+/// Budgeted counterpart of [`checked_place`]: places under `budget` with
+/// the fallback chain, asserts the resulting layout is analyzer-clean, and
+/// returns the [`Degradation`](tempo::place::Degradation) record so the
+/// experiment can note which tier produced its numbers.
+///
+/// A degraded run is reported on stderr (the layout is still valid — the
+/// numbers just describe a fallback tier, not the requested algorithm).
+///
+/// # Panics
+///
+/// Panics with the rendered report when the analyzer finds error-severity
+/// diagnostics.
+pub fn checked_place_budgeted(
+    session: &tempo::ProfiledSession<'_>,
+    algorithm: &dyn tempo::place::PlacementAlgorithm,
+    budget: tempo::place::Budget,
+) -> (tempo::program::Layout, tempo::place::Degradation) {
+    let (layout, report, degradation) = session.place_checked_budgeted(algorithm, budget);
     assert!(
         report.error_count() == 0,
         "{} produced a layout failing static analysis:\n{}",
-        algorithm.name(),
+        degradation.ran,
         report.render_text(session.program())
     );
-    layout
+    if degradation.is_degraded() {
+        eprintln!("tempo-bench: warning: {degradation}");
+    }
+    (layout, degradation)
 }
 
 /// Writes `rows` as CSV to `path` with the given header.

@@ -8,6 +8,7 @@ use tempo::cache::classify;
 use tempo::place::{TrgChains, WcgOffsets};
 use tempo::prelude::*;
 use tempo::trace::analysis::{reuse_distances, working_set_sizes};
+use tempo::trace::io::ReadMode;
 use tempo::trg::io::{read_profile, write_profile};
 use tempo::workloads::suite;
 
@@ -24,32 +25,61 @@ fn create(path: &str) -> Result<BufWriter<File>, CliError> {
 
 fn load_program(args: &ArgMap) -> Result<Program, CliError> {
     let path = args.require("program")?;
-    tempo::program::io::read_program(open(path)?).map_err(|e| CliError::Parse {
-        what: "program",
-        message: e.to_string(),
+    tempo::program::io::read_program(open(path)?).map_err(|e| CliError::parse("program", e))
+}
+
+/// Resolves the `--lossy` / `--strict` switches into a [`ReadMode`]
+/// (strict is the default; giving both is a usage error).
+fn trace_read_mode(args: &ArgMap) -> Result<ReadMode, CliError> {
+    let lossy = args.switch("lossy");
+    let strict = args.switch("strict");
+    if lossy && strict {
+        return Err(CliError::Usage(
+            "--lossy and --strict are mutually exclusive".to_string(),
+        ));
+    }
+    Ok(if lossy {
+        ReadMode::Lossy
+    } else {
+        ReadMode::Strict
     })
 }
 
-fn load_trace(args: &ArgMap, flag: &str, program: &Program) -> Result<Trace, CliError> {
+fn load_trace(
+    args: &ArgMap,
+    flag: &str,
+    program: &Program,
+    mode: ReadMode,
+) -> Result<Trace, CliError> {
     let path = args.require(flag)?;
-    let trace = tempo::trace::io::read_binary(open(path)?).map_err(|e| CliError::Parse {
-        what: "trace",
-        message: e.to_string(),
-    })?;
-    if let Err(index) = trace.validate(program) {
-        return Err(CliError::Inconsistent(format!(
-            "trace record {index} does not fit the program"
-        )));
+    match mode {
+        ReadMode::Strict => {
+            let trace = tempo::trace::io::read_binary(open(path)?)
+                .map_err(|e| CliError::parse("trace", e))?;
+            if let Err(index) = trace.validate(program) {
+                return Err(CliError::Inconsistent(format!(
+                    "trace record {index} does not fit the program"
+                )));
+            }
+            Ok(trace)
+        }
+        ReadMode::Lossy => {
+            // The recovering reader drops or repairs whatever disagrees
+            // with the program, so the result needs no re-validation.
+            let (trace, warnings) = tempo::trace::io::read_binary_lossy(open(path)?, Some(program))
+                .map_err(|e| CliError::parse("trace", e))?;
+            if !warnings.is_clean() {
+                eprintln!("tempo-cli: warning: --{flag} {path}: recovered ({warnings})");
+            }
+            Ok(trace)
+        }
     }
-    Ok(trace)
 }
 
 fn load_layout(args: &ArgMap, program: &Program) -> Result<Layout, CliError> {
     let path = args.require("layout")?;
-    let layout = tempo::program::io::read_layout(open(path)?).map_err(|e| CliError::Parse {
-        what: "layout",
-        message: e.to_string(),
-    })?;
+    let layout =
+        tempo::program::io::read_layout(open(path)?).map_err(|e| CliError::parse("layout", e))?;
     layout
         .validate(program)
         .map_err(|e| CliError::Inconsistent(format!("layout does not fit the program: {e}")))?;
@@ -76,12 +106,8 @@ pub fn generate(args: &ArgMap) -> Result<(), CliError> {
         })?;
 
     if let Some(path) = &program_out {
-        tempo::program::io::write_program(create(path)?, model.program()).map_err(|e| {
-            CliError::Parse {
-                what: "program",
-                message: e.to_string(),
-            }
-        })?;
+        tempo::program::io::write_program(create(path)?, model.program())
+            .map_err(|e| CliError::parse("program", e))?;
         println!(
             "wrote {path}: {} procedures, {} bytes",
             model.program().len(),
@@ -102,10 +128,8 @@ pub fn generate(args: &ArgMap) -> Result<(), CliError> {
             spec.seed = seed;
         }
         let trace = model.trace(&spec, records);
-        tempo::trace::io::write_binary(create(path)?, &trace).map_err(|e| CliError::Parse {
-            what: "trace",
-            message: e.to_string(),
-        })?;
+        tempo::trace::io::write_binary(create(path)?, &trace)
+            .map_err(|e| CliError::parse("trace", e))?;
         println!("wrote {path}: {} records ({input} input)", trace.len());
     }
     if program_out.is_none() && trace_out.is_none() {
@@ -119,7 +143,8 @@ pub fn generate(args: &ArgMap) -> Result<(), CliError> {
 /// `profile`: build WCG + TRGs (+ optional pair database) from a trace.
 pub fn profile(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
-    let trace = load_trace(args, "trace", &program)?;
+    let mode = trace_read_mode(args)?;
+    let trace = load_trace(args, "trace", &program, mode)?;
     let cache = args.cache()?;
     let coverage: f64 = args.get_or("coverage", 0.995)?;
     let pair_db = args.switch("pair-db");
@@ -130,10 +155,7 @@ pub fn profile(args: &ArgMap) -> Result<(), CliError> {
         .popularity(PopularitySelector::coverage(coverage).with_min_count(2))
         .with_pair_db(pair_db)
         .profile(&trace);
-    write_profile(create(&out)?, &profile).map_err(|e| CliError::Parse {
-        what: "profile",
-        message: e.to_string(),
-    })?;
+    write_profile(create(&out)?, &profile).map_err(|e| CliError::parse("profile", e))?;
     println!(
         "wrote {out}: {} popular procedures, WCG {} edges, TRG_select {} edges, TRG_place {} edges, avg Q {:.1}",
         profile.popular.count(),
@@ -176,12 +198,11 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
     let algorithm = algorithm_by_name(args.require("algorithm")?)?;
     let out = args.require("out")?.to_string();
     let map_out = args.get("map").map(str::to_string);
+    let budget_ms: Option<u64> = args.get_parsed("budget-ms")?;
+    let budget_work: Option<u64> = args.get_parsed("budget-work")?;
     args.finish()?;
 
-    let profile = read_profile(open(&profile_path)?).map_err(|e| CliError::Parse {
-        what: "profile",
-        message: e.to_string(),
-    })?;
+    let profile = read_profile(open(&profile_path)?).map_err(|e| CliError::parse("profile", e))?;
     if profile.popular.len() != program.len() {
         return Err(CliError::Inconsistent(format!(
             "profile covers {} procedures, program has {}",
@@ -190,17 +211,22 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
         )));
     }
     let session = tempo::ProfiledSession::from_profile(&program, profile);
-    let layout = session.place(&*algorithm);
+    let budget = Budget {
+        max_work_units: budget_work,
+        deadline: budget_ms.map(std::time::Duration::from_millis),
+    };
+    let (layout, degradation) = session.place_budgeted(&*algorithm, budget);
+    if degradation.is_degraded() {
+        eprintln!("tempo-cli: warning: {degradation}");
+    }
     layout
         .validate(&program)
         .map_err(|e| CliError::Inconsistent(format!("algorithm produced invalid layout: {e}")))?;
-    tempo::program::io::write_layout(create(&out)?, &layout).map_err(|e| CliError::Parse {
-        what: "layout",
-        message: e.to_string(),
-    })?;
+    tempo::program::io::write_layout(create(&out)?, &layout)
+        .map_err(|e| CliError::parse("layout", e))?;
     println!(
         "wrote {out}: {} layout, span {} bytes ({} padding)",
-        algorithm.name(),
+        degradation.ran,
         layout.span(&program),
         layout.padding(&program)
     );
@@ -213,7 +239,7 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
         writeln!(
             w,
             "# tempo layout map: {} on {} procedures",
-            algorithm.name(),
+            degradation.ran,
             program.len()
         )?;
         for (name, addr) in tempo::program::io::layout_map(&program, &layout) {
@@ -228,7 +254,8 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
 pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
     let layout = load_layout(args, &program)?;
-    let trace = load_trace(args, "trace", &program)?;
+    let mode = trace_read_mode(args)?;
+    let trace = load_trace(args, "trace", &program, mode)?;
     let cache = args.cache()?;
     let want_classify = args.switch("classify");
     args.finish()?;
@@ -268,16 +295,10 @@ pub fn analyze(args: &ArgMap) -> Result<(), CliError> {
     // layouts up front, but reporting what is wrong with them is this
     // command's whole job.
     let layout_path = args.require("layout")?;
-    let layout =
-        tempo::program::io::read_layout(open(layout_path)?).map_err(|e| CliError::Parse {
-            what: "layout",
-            message: e.to_string(),
-        })?;
+    let layout = tempo::program::io::read_layout(open(layout_path)?)
+        .map_err(|e| CliError::parse("layout", e))?;
     let profile = match args.get("profile") {
-        Some(path) => Some(read_profile(open(path)?).map_err(|e| CliError::Parse {
-            what: "profile",
-            message: e.to_string(),
-        })?),
+        Some(path) => Some(read_profile(open(path)?).map_err(|e| CliError::parse("profile", e))?),
         None => None,
     };
     // Explicit --cache wins; otherwise inherit the profile's geometry.
@@ -328,7 +349,8 @@ pub fn analyze(args: &ArgMap) -> Result<(), CliError> {
 /// `trace-stats`: reuse-distance and working-set statistics for a trace.
 pub fn trace_stats(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
-    let trace = load_trace(args, "trace", &program)?;
+    let mode = trace_read_mode(args)?;
+    let trace = load_trace(args, "trace", &program, mode)?;
     let cache = args.cache()?;
     let window: usize = args.get_or("window", 2_000)?;
     args.finish()?;
@@ -363,8 +385,9 @@ pub fn trace_stats(args: &ArgMap) -> Result<(), CliError> {
 /// `compare`: run every algorithm and print the comparison table.
 pub fn compare(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
-    let train = load_trace(args, "train", &program)?;
-    let test = load_trace(args, "test", &program)?;
+    let mode = trace_read_mode(args)?;
+    let train = load_trace(args, "train", &program, mode)?;
+    let test = load_trace(args, "test", &program, mode)?;
     let cache = args.cache()?;
     args.finish()?;
 

@@ -11,12 +11,13 @@ pub enum CliError {
     Usage(String),
     /// Filesystem or stream failure.
     Io(std::io::Error),
-    /// A named input file failed to parse, with context.
+    /// A named input file failed to parse; the cause is preserved for
+    /// error-chain printing.
     Parse {
         /// What was being read.
         what: &'static str,
-        /// The underlying message.
-        message: String,
+        /// The underlying error.
+        source: Box<dyn Error + Send + Sync + 'static>,
     },
     /// Inputs are mutually inconsistent (e.g. trace references procedures
     /// the program does not define).
@@ -31,12 +32,28 @@ pub enum CliError {
     },
 }
 
+impl CliError {
+    /// Wraps a parse failure for `what`, preserving `source` for
+    /// error-chain printing.
+    pub fn parse<E>(what: &'static str, source: E) -> Self
+    where
+        E: Error + Send + Sync + 'static,
+    {
+        CliError::Parse {
+            what,
+            source: Box::new(source),
+        }
+    }
+}
+
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
-            CliError::Parse { what, message } => write!(f, "failed to read {what}: {message}"),
+            // The cause is deliberately not repeated here: the binary
+            // prints the `source()` chain as indented `caused by:` lines.
+            CliError::Parse { what, .. } => write!(f, "failed to read {what}"),
             CliError::Inconsistent(msg) => write!(f, "inconsistent inputs: {msg}"),
             CliError::Diagnostics { errors, warnings } => write!(
                 f,
@@ -50,6 +67,7 @@ impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CliError::Io(e) => Some(e),
+            CliError::Parse { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -68,12 +86,23 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(CliError::Usage("x".into()).to_string().contains("usage"));
-        assert!(CliError::Parse {
-            what: "layout",
-            message: "bad".into()
-        }
-        .to_string()
-        .contains("layout"));
+        let parse = CliError::parse(
+            "layout",
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad"),
+        );
+        assert!(parse.to_string().contains("layout"));
         assert!(CliError::Inconsistent("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    fn sources_survive_wrapping() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "cut short");
+        let parse = CliError::parse("trace", io);
+        let chain = parse.source().expect("parse keeps its cause");
+        assert!(chain.to_string().contains("cut short"));
+        let io2 = std::io::Error::other("disk fell off");
+        let wrapped = CliError::from(io2);
+        assert!(wrapped.source().is_some());
+        assert!(CliError::Usage("x".into()).source().is_none());
     }
 }

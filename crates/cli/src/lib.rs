@@ -70,22 +70,26 @@ commands:
             [--program FILE] [--trace FILE]
       synthesize a Table-1 benchmark program and/or trace
   profile   --program FILE --trace FILE [--cache SIZExLINExASSOC]
-            [--coverage F] [--pair-db] --out FILE
+            [--coverage F] [--pair-db] [--lossy|--strict] --out FILE
       build WCG + TRGs from a trace
   place     --program FILE --profile FILE --algorithm NAME --out FILE
-            [--map FILE]
+            [--map FILE] [--budget-ms N] [--budget-work N]
       run a placement algorithm (default|random[:SEED]|ph|hkc|gbsc|gbsc-sa|
-      trg-chains|wcg-offsets); --map emits a name/address symbol map
+      trg-chains|wcg-offsets); --map emits a name/address symbol map;
+      budgets degrade requested -> ph -> identity on exhaustion
   simulate  --program FILE --layout FILE --trace FILE
-            [--cache SIZExLINExASSOC] [--classify]
+            [--cache SIZExLINExASSOC] [--classify] [--lossy|--strict]
       trace-driven miss simulation (optionally cold/capacity/conflict)
   analyze   --program FILE --layout FILE [--profile FILE]
             [--cache SIZExLINExASSOC] [--format text|json]
             [--deny warnings] [--top N]
       lint a layout and statically predict conflict misses; exits 0 when
       clean, 1 on failing diagnostics, 2 on usage errors
-  trace-stats --program FILE --trace FILE [--window N]
+  trace-stats --program FILE --trace FILE [--window N] [--lossy|--strict]
       reuse-distance and working-set statistics
   compare   --program FILE --train FILE --test FILE
-            [--cache SIZExLINExASSOC]
-      profile on train, place with every algorithm, evaluate on test";
+            [--cache SIZExLINExASSOC] [--lossy|--strict]
+      profile on train, place with every algorithm, evaluate on test
+
+trace reading defaults to --strict (reject corrupt traces); --lossy
+resyncs past defective records and prints a recovery summary to stderr";

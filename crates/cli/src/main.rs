@@ -4,6 +4,7 @@
 //! `0` success, `1` pipeline failure or failing diagnostics, `2` usage
 //! error.
 
+use std::error::Error as _;
 use std::process::ExitCode;
 
 use tempo_cli::CliError;
@@ -14,6 +15,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("tempo-cli: {e}");
+            let mut cause = e.source();
+            while let Some(c) = cause {
+                eprintln!("  caused by: {c}");
+                cause = c.source();
+            }
             match e {
                 CliError::Usage(_) => ExitCode::from(2),
                 _ => ExitCode::FAILURE,

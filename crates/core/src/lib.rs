@@ -69,12 +69,13 @@ pub mod prelude {
     pub use tempo_analyze::{AnalysisInput, AnalysisReport, Analyzer};
     pub use tempo_cache::{simulate, CacheConfig, InstructionCache, SimStats};
     pub use tempo_place::{
-        CacheColoring, Gbsc, GbscSetAssoc, PettisHansen, PlacementAlgorithm, PlacementContext,
-        RandomOrder, SourceOrder,
+        Budget, CacheColoring, Degradation, DegradationTier, Gbsc, GbscSetAssoc, PettisHansen,
+        PlacementAlgorithm, PlacementContext, RandomOrder, SourceOrder,
     };
     pub use tempo_program::{ChunkId, Layout, ProcId, Program};
+    pub use tempo_trace::io::TraceWarnings;
     pub use tempo_trace::{Trace, TraceRecord};
-    pub use tempo_trg::{PopularitySelector, ProfileData, Profiler};
+    pub use tempo_trg::{PopularitySelector, ProfileData, ProfileWarnings, Profiler};
 
     pub use crate::{compare, Comparison, ProfiledSession, Session};
 }

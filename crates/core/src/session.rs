@@ -1,10 +1,10 @@
 //! The profile → place → evaluate pipeline.
 
 use tempo_cache::{simulate, CacheConfig, SimStats};
-use tempo_place::{PlacementAlgorithm, PlacementContext};
+use tempo_place::{place_with_fallback, Budget, Degradation, PlacementAlgorithm, PlacementContext};
 use tempo_program::{Layout, Program};
 use tempo_trace::Trace;
-use tempo_trg::{PopularitySelector, ProfileData, Profiler};
+use tempo_trg::{PopularitySelector, ProfileData, ProfileWarnings, Profiler};
 
 /// Stage 1: a program plus profiling configuration.
 ///
@@ -44,14 +44,28 @@ impl<'p> Session<'p> {
 
     /// Profiles a training trace.
     pub fn profile(self, trace: &Trace) -> ProfiledSession<'p> {
-        let profile = Profiler::new(self.program, self.cache)
+        self.profile_lossy(trace).0
+    }
+
+    /// Profiles a training trace that may contain defective records,
+    /// also reporting how many were repaired or dropped.
+    ///
+    /// This is the entry point for traces read with
+    /// [`read_binary_lossy`](tempo_trace::io::read_binary_lossy): the
+    /// profiler tolerates unknown procedures, zero extents, and oversized
+    /// extents instead of panicking.
+    pub fn profile_lossy(self, trace: &Trace) -> (ProfiledSession<'p>, ProfileWarnings) {
+        let (profile, warnings) = Profiler::new(self.program, self.cache)
             .popularity(self.selector)
             .with_pair_db(self.pair_db)
-            .profile(trace);
-        ProfiledSession {
-            program: self.program,
-            profile,
-        }
+            .profile_lossy(trace);
+        (
+            ProfiledSession {
+                program: self.program,
+                profile,
+            },
+            warnings,
+        )
     }
 }
 
@@ -112,6 +126,35 @@ impl<'p> ProfiledSession<'p> {
             tempo_analyze::AnalysisInput::from_profile(self.program, &layout, &self.profile);
         let report = tempo_analyze::Analyzer::new().analyze(&input);
         (layout, report)
+    }
+
+    /// Runs a placement algorithm under an execution budget, degrading
+    /// through the fallback chain (requested → Pettis–Hansen → identity)
+    /// when the budget trips.
+    ///
+    /// The returned layout is always valid; the [`Degradation`] record
+    /// says which tier produced it and why earlier tiers failed.
+    pub fn place_budgeted<A: PlacementAlgorithm + ?Sized>(
+        &self,
+        algorithm: &A,
+        budget: Budget,
+    ) -> (Layout, Degradation) {
+        place_with_fallback(self.program, &self.profile, algorithm, budget)
+    }
+
+    /// Budgeted counterpart of [`place_checked`](ProfiledSession::place_checked):
+    /// places under `budget` with the fallback chain, then lints whatever
+    /// layout was produced.
+    pub fn place_checked_budgeted<A: PlacementAlgorithm + ?Sized>(
+        &self,
+        algorithm: &A,
+        budget: Budget,
+    ) -> (Layout, tempo_analyze::AnalysisReport, Degradation) {
+        let (layout, degradation) = self.place_budgeted(algorithm, budget);
+        let input =
+            tempo_analyze::AnalysisInput::from_profile(self.program, &layout, &self.profile);
+        let report = tempo_analyze::Analyzer::new().analyze(&input);
+        (layout, report, degradation)
     }
 
     /// Simulates a layout against a trace on this session's cache.
@@ -204,6 +247,41 @@ mod tests {
             .with_pair_db(true)
             .profile(&trace);
         assert!(session.profile().pair_db.is_some());
+    }
+
+    #[test]
+    fn lossy_profile_reports_warnings_and_still_places() {
+        use tempo_trace::TraceRecord;
+        let (program, trace) = setup();
+        let mut hostile = trace.clone();
+        hostile.push(TraceRecord::new(ProcId::new(500), 64)); // unknown
+        hostile.push(TraceRecord::new(ProcId::new(0), 0)); // zero extent
+        let (session, warnings) = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile_lossy(&hostile);
+        assert_eq!(warnings.unknown_proc, 1);
+        assert_eq!(warnings.zero_extent, 1);
+        let layout = session.place(&Gbsc::new());
+        layout.validate(&program).unwrap();
+    }
+
+    #[test]
+    fn budgeted_place_degrades_to_identity() {
+        use tempo_place::{Budget, DegradationTier};
+        let (program, trace) = setup();
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let (layout, report, d) =
+            session.place_checked_budgeted(&Gbsc::new(), Budget::work_units(1));
+        layout.validate(&program).unwrap();
+        assert_eq!(d.tier, DegradationTier::Identity);
+        assert_eq!(layout, Layout::source_order(&program));
+        assert_eq!(report.error_count(), 0, "{}", report.render_text(&program));
+        // Unlimited budget matches the unbudgeted run.
+        let (full, d2) = session.place_budgeted(&Gbsc::new(), Budget::unlimited());
+        assert!(!d2.is_degraded());
+        assert_eq!(full, session.place(&Gbsc::new()));
     }
 
     #[test]

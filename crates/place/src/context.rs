@@ -4,20 +4,54 @@ use tempo_cache::CacheConfig;
 use tempo_program::{Layout, Program};
 use tempo_trg::ProfileData;
 
+use crate::budget::{BudgetExhausted, BudgetMeter};
+
 /// Everything a placement algorithm may consult: the program's static shape
-/// and the training profile (which carries the target cache geometry).
+/// and the training profile (which carries the target cache geometry),
+/// plus an optional execution-budget meter.
 #[derive(Debug, Clone, Copy)]
 pub struct PlacementContext<'a> {
     /// The program being laid out.
     pub program: &'a Program,
     /// The training profile (WCG, TRGs, popularity, cache geometry).
     pub profile: &'a ProfileData,
+    /// Budget meter, if this run is budgeted.
+    budget: Option<&'a BudgetMeter>,
 }
 
 impl<'a> PlacementContext<'a> {
-    /// Bundles a program with its profile.
+    /// Bundles a program with its profile (no budget).
     pub fn new(program: &'a Program, profile: &'a ProfileData) -> Self {
-        PlacementContext { program, profile }
+        PlacementContext {
+            program,
+            profile,
+            budget: None,
+        }
+    }
+
+    /// Attaches a budget meter; budget-aware algorithms charge work to it
+    /// through [`try_place`](PlacementAlgorithm::try_place).
+    pub fn with_budget(mut self, meter: &'a BudgetMeter) -> Self {
+        self.budget = Some(meter);
+        self
+    }
+
+    /// The attached budget meter, if any.
+    pub fn budget(&self) -> Option<&'a BudgetMeter> {
+        self.budget
+    }
+
+    /// Charges `units` of work against the budget, if one is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] once the budget trips; unbudgeted
+    /// contexts always succeed.
+    pub fn charge(&self, units: u64) -> Result<(), BudgetExhausted> {
+        match self.budget {
+            Some(meter) => meter.charge(units),
+            None => Ok(()),
+        }
     }
 
     /// The cache geometry the profile was gathered for.
@@ -35,8 +69,26 @@ pub trait PlacementAlgorithm {
     /// Short identifier used in reports ("PH", "HKC", "GBSC", ...).
     fn name(&self) -> &str;
 
-    /// Produces a layout covering every procedure of `ctx.program`.
+    /// Produces a layout covering every procedure of `ctx.program`,
+    /// ignoring any attached budget.
     fn place(&self, ctx: &PlacementContext<'_>) -> Layout;
+
+    /// Budget-aware placement: like [`place`](PlacementAlgorithm::place),
+    /// but honours a meter attached via
+    /// [`PlacementContext::with_budget`], stopping early with
+    /// [`BudgetExhausted`] instead of overrunning.
+    ///
+    /// The default implementation runs [`place`](PlacementAlgorithm::place)
+    /// to completion (correct for algorithms whose cost is trivially
+    /// bounded, e.g. the baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the attached budget trips before
+    /// placement finishes.
+    fn try_place(&self, ctx: &PlacementContext<'_>) -> Result<Layout, BudgetExhausted> {
+        Ok(self.place(ctx))
+    }
 }
 
 impl<T: PlacementAlgorithm + ?Sized> PlacementAlgorithm for &T {
@@ -47,6 +99,10 @@ impl<T: PlacementAlgorithm + ?Sized> PlacementAlgorithm for &T {
     fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
         (**self).place(ctx)
     }
+
+    fn try_place(&self, ctx: &PlacementContext<'_>) -> Result<Layout, BudgetExhausted> {
+        (**self).try_place(ctx)
+    }
 }
 
 impl<T: PlacementAlgorithm + ?Sized> PlacementAlgorithm for Box<T> {
@@ -56,6 +112,10 @@ impl<T: PlacementAlgorithm + ?Sized> PlacementAlgorithm for Box<T> {
 
     fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
         (**self).place(ctx)
+    }
+
+    fn try_place(&self, ctx: &PlacementContext<'_>) -> Result<Layout, BudgetExhausted> {
+        (**self).try_place(ctx)
     }
 }
 

@@ -24,6 +24,7 @@ use rand::Rng;
 use tempo_program::{ChunkId, Layout, ProcId, Program};
 use tempo_trg::{ProfileData, WeightedGraph};
 
+use crate::budget::{BudgetExhausted, BudgetMeter};
 use crate::{linearize, PlacementAlgorithm, PlacementContext};
 
 /// The cache-relative alignment decisions for the popular procedures — the
@@ -199,18 +200,27 @@ impl<'a> Merger<'a> {
     /// Runs the greedy merge loop with `cost(self, u, v) -> acc` supplying
     /// the per-offset cost of aligning node `v` against node `u`, and
     /// returns the final tuples.
+    ///
+    /// When a budget meter is supplied, each merge first charges one work
+    /// unit per candidate offset it is about to scan; on exhaustion the
+    /// loop unwinds *before* doing the work, so a budget of one unit stops
+    /// the very first merge.
     #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
     fn run<F>(
         mut self,
         trg_select: &WeightedGraph,
         popular_count: usize,
+        budget: Option<&BudgetMeter>,
         mut cost: F,
-    ) -> PlacementTuples
+    ) -> Result<PlacementTuples, BudgetExhausted>
     where
         F: FnMut(&Merger<'_>, u32, u32) -> Vec<f64>,
     {
         let mut working = trg_select.clone();
         while let Some(e) = working.heaviest_edge() {
+            if let Some(meter) = budget {
+                meter.charge(u64::from(self.lines))?;
+            }
             let (u, v) = (e.a, e.b);
             let acc = cost(&self, u, v);
             debug_assert_eq!(acc.len(), self.lines as usize);
@@ -231,7 +241,7 @@ impl<'a> Merger<'a> {
             }
         }
         debug_assert_eq!(tuples.aligned_count(), popular_count);
-        tuples
+        Ok(tuples)
     }
 }
 
@@ -252,15 +262,41 @@ impl Gbsc {
 
     /// Runs only the merging phase, returning the cache-relative alignments
     /// (useful for experiments that manipulate offsets before
-    /// linearization, like the paper's Figure 6).
-    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+    /// linearization, like the paper's Figure 6). Ignores any budget
+    /// attached to the context.
     pub fn place_tuples(&self, ctx: &PlacementContext<'_>) -> PlacementTuples {
+        match self.tuples_impl(ctx, None) {
+            Ok(tuples) => tuples,
+            Err(_) => unreachable!("unbudgeted merge loop cannot exhaust"),
+        }
+    }
+
+    /// Budget-aware merging phase: honours a meter attached via
+    /// [`PlacementContext::with_budget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget trips mid-merge.
+    pub fn try_place_tuples(
+        &self,
+        ctx: &PlacementContext<'_>,
+    ) -> Result<PlacementTuples, BudgetExhausted> {
+        self.tuples_impl(ctx, ctx.budget())
+    }
+
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+    fn tuples_impl(
+        &self,
+        ctx: &PlacementContext<'_>,
+        budget: Option<&BudgetMeter>,
+    ) -> Result<PlacementTuples, BudgetExhausted> {
         let merger = Merger::new(ctx.program, ctx.profile);
         let trg_place = &ctx.profile.trg_place;
         let lines = ctx.cache().lines() as usize;
         merger.run(
             &ctx.profile.trg_select,
             ctx.profile.popular.count(),
+            budget,
             |m, u, v| {
                 // Figure 4's cost scan, computed sparsely: for every
                 // TRG_place edge crossing the two nodes, each pair of
@@ -316,6 +352,10 @@ impl PlacementAlgorithm for Gbsc {
     fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
         self.place_tuples(ctx).into_layout(ctx)
     }
+
+    fn try_place(&self, ctx: &PlacementContext<'_>) -> Result<Layout, BudgetExhausted> {
+        Ok(self.try_place_tuples(ctx)?.into_layout(ctx))
+    }
 }
 
 /// GBSC extended for set-associative caches (§6): alignment costs come from
@@ -336,7 +376,8 @@ impl GbscSetAssoc {
         GbscSetAssoc
     }
 
-    /// Runs only the merging phase (see [`Gbsc::place_tuples`]).
+    /// Runs only the merging phase (see [`Gbsc::place_tuples`]). Ignores
+    /// any budget attached to the context.
     ///
     /// # Panics
     ///
@@ -344,6 +385,35 @@ impl GbscSetAssoc {
     /// [`with_pair_db`](tempo_trg::Profiler::with_pair_db) when profiling)
     /// or if the cache is direct-mapped (use [`Gbsc`] instead).
     pub fn place_tuples(&self, ctx: &PlacementContext<'_>) -> PlacementTuples {
+        match self.tuples_impl(ctx, None) {
+            Ok(tuples) => tuples,
+            Err(_) => unreachable!("unbudgeted merge loop cannot exhaust"),
+        }
+    }
+
+    /// Budget-aware merging phase: honours a meter attached via
+    /// [`PlacementContext::with_budget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget trips mid-merge.
+    ///
+    /// # Panics
+    ///
+    /// As [`place_tuples`](GbscSetAssoc::place_tuples): panics without a
+    /// pair database or on a direct-mapped cache.
+    pub fn try_place_tuples(
+        &self,
+        ctx: &PlacementContext<'_>,
+    ) -> Result<PlacementTuples, BudgetExhausted> {
+        self.tuples_impl(ctx, ctx.budget())
+    }
+
+    fn tuples_impl(
+        &self,
+        ctx: &PlacementContext<'_>,
+        budget: Option<&BudgetMeter>,
+    ) -> Result<PlacementTuples, BudgetExhausted> {
         let db = ctx.profile.pair_db.as_ref().expect(
             "set-associative placement needs a pair database; enable Profiler::with_pair_db",
         );
@@ -360,6 +430,7 @@ impl GbscSetAssoc {
         merger.run(
             &ctx.profile.trg_select,
             ctx.profile.popular.count(),
+            budget,
             |m, u, v| {
                 let mut acc = vec![0.0f64; lines];
                 let node_of_chunk = |chunk: u32| {
@@ -425,6 +496,10 @@ impl PlacementAlgorithm for GbscSetAssoc {
 
     fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
         self.place_tuples(ctx).into_layout(ctx)
+    }
+
+    fn try_place(&self, ctx: &PlacementContext<'_>) -> Result<Layout, BudgetExhausted> {
+        Ok(self.try_place_tuples(ctx)?.into_layout(ctx))
     }
 }
 
@@ -646,7 +721,11 @@ mod tests {
         let cache = CacheConfig::two_way_8k();
         let profile = profile_for(&p, &t, cache, false);
         let ctx = PlacementContext::new(&p, &profile);
-        let result = std::panic::catch_unwind(|| GbscSetAssoc::new().place(&ctx));
+        // AssertUnwindSafe: the context (and any budget meter it carries)
+        // is discarded after the unwind, so broken invariants cannot leak.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GbscSetAssoc::new().place(&ctx)
+        }));
         assert!(result.is_err());
     }
 

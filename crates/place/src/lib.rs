@@ -59,9 +59,13 @@
 
 // In the test build, `unwrap` IS the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+// Outside tests this crate must never panic on a Result: the workspace
+// warns on `unwrap_used`; here it is a hard error.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod ablate;
 mod baseline;
+pub mod budget;
 mod context;
 pub mod exhaustive;
 mod gbsc;
@@ -73,6 +77,9 @@ pub mod splitting;
 
 pub use ablate::{TrgChains, WcgOffsets};
 pub use baseline::{RandomOrder, SourceOrder};
+pub use budget::{
+    place_with_fallback, Budget, BudgetExhausted, BudgetMeter, Degradation, DegradationTier,
+};
 pub use context::{PlacementAlgorithm, PlacementContext};
 pub use gbsc::{Gbsc, GbscSetAssoc, PlacementTuples};
 pub use hkc::CacheColoring;

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use tempo_program::{Layout, ProcId, Program};
 
+use crate::budget::{BudgetExhausted, BudgetMeter};
 use crate::{PlacementAlgorithm, PlacementContext};
 
 /// The Pettis–Hansen placement algorithm.
@@ -25,8 +26,34 @@ impl PettisHansen {
     }
 
     /// Runs the chain-merging phase, returning the final procedure order.
-    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+    /// Ignores any budget attached to the context.
     pub fn place_order(&self, ctx: &PlacementContext<'_>) -> Vec<ProcId> {
+        match self.order_impl(ctx, None) {
+            Ok(order) => order,
+            Err(_) => unreachable!("unbudgeted merge loop cannot exhaust"),
+        }
+    }
+
+    /// Budget-aware chain merging: honours a meter attached via
+    /// [`PlacementContext::with_budget`], charging one work unit per chain
+    /// endpoint considered by a merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget trips mid-merge.
+    pub fn try_place_order(
+        &self,
+        ctx: &PlacementContext<'_>,
+    ) -> Result<Vec<ProcId>, BudgetExhausted> {
+        self.order_impl(ctx, ctx.budget())
+    }
+
+    #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+    fn order_impl(
+        &self,
+        ctx: &PlacementContext<'_>,
+        budget: Option<&BudgetMeter>,
+    ) -> Result<Vec<ProcId>, BudgetExhausted> {
         let program = ctx.program;
         let orig = &ctx.profile.wcg;
         let mut working = orig.clone();
@@ -39,6 +66,12 @@ impl PettisHansen {
             let (u, v) = (e.a, e.b);
             let a = chains.remove(&u).expect("u is live");
             let b = chains.remove(&v).expect("v is live");
+            if let Some(meter) = budget {
+                // Cost of this merge ≈ endpoints examined across both
+                // chains; charged before the work so exhaustion stops the
+                // merge from running.
+                meter.charge((a.len() + b.len()) as u64)?;
+            }
 
             // Heaviest original edge crossing the two chains.
             let mut heavy: Option<(f64, ProcId, ProcId)> = None;
@@ -81,7 +114,7 @@ impl PettisHansen {
                 .sum();
             (std::cmp::Reverse(count), *rep)
         });
-        remaining.into_iter().flat_map(|(_, c)| c).collect()
+        Ok(remaining.into_iter().flat_map(|(_, c)| c).collect())
     }
 }
 
@@ -149,6 +182,11 @@ impl PlacementAlgorithm for PettisHansen {
     fn place(&self, ctx: &PlacementContext<'_>) -> Layout {
         let order = self.place_order(ctx);
         Layout::from_order(ctx.program, &order).expect("chain concatenation is a permutation")
+    }
+
+    fn try_place(&self, ctx: &PlacementContext<'_>) -> Result<Layout, BudgetExhausted> {
+        let order = self.try_place_order(ctx)?;
+        Ok(Layout::from_order(ctx.program, &order).expect("chain concatenation is a permutation"))
     }
 }
 

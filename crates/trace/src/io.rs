@@ -26,7 +26,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Read, Write};
 
-use tempo_program::ProcId;
+use tempo_program::{ProcId, Program};
 
 use crate::{Trace, TraceRecord};
 
@@ -34,6 +34,13 @@ use crate::{Trace, TraceRecord};
 pub const MAGIC: [u8; 4] = *b"TMPO";
 /// Current binary format version.
 pub const VERSION: u32 = 1;
+
+/// Preallocation ceiling (records) applied to the header's declared
+/// count. The count is untrusted input — a mangled header could declare
+/// `u64::MAX` records and turn a 24-byte file into an allocation abort —
+/// so readers reserve at most this much up front and let the vector grow
+/// normally past it.
+const PREALLOC_CAP: u64 = 1 << 20;
 
 /// Errors produced while reading or writing traces.
 #[derive(Debug)]
@@ -150,7 +157,10 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     let mut dword = [0u8; 8];
     r.read_exact(&mut dword)?;
     let count = u64::from_le_bytes(dword);
-    let mut records = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+    // The declared count is untrusted input: cap the preallocation so a
+    // corrupt header cannot trigger an allocation abort. The vector still
+    // grows to the real record count.
+    let mut records = Vec::with_capacity(usize::try_from(count.min(PREALLOC_CAP)).unwrap_or(0));
     let mut rec = [0u8; 8];
     for i in 0..count {
         if let Err(e) = r.read_exact(&mut rec) {
@@ -170,6 +180,225 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
         records.push(TraceRecord::new(ProcId::new(proc), bytes));
     }
     Ok(Trace::from_records(records))
+}
+
+/// How trace readers respond to defective input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Any defect aborts the read with a structured [`TraceIoError`].
+    #[default]
+    Strict,
+    /// Defects are repaired or skipped and tallied in [`TraceWarnings`].
+    Lossy,
+}
+
+/// Per-defect-class tallies produced by the lossy readers.
+///
+/// Every count is the number of *occurrences* of that defect, so a clean
+/// read reports the default (all-zero) value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TraceWarnings {
+    /// Header defects: missing/corrupt magic or an unknown version field.
+    pub header_mangled: u64,
+    /// Absolute difference between the declared record count and the number
+    /// of whole records actually present in the input.
+    pub count_mismatch: u64,
+    /// Records dropped because they carry a zero byte extent.
+    pub zero_extent: u64,
+    /// Records dropped because they name a procedure the program lacks.
+    pub unknown_proc: u64,
+    /// Records whose extent exceeded the procedure size and was clamped.
+    pub clamped_extent: u64,
+    /// Trailing byte fragments that do not form a whole record.
+    pub truncated_tail: u64,
+    /// Unparsable text-format lines that were skipped.
+    pub bad_lines: u64,
+}
+
+impl TraceWarnings {
+    /// Returns `true` when no defects were observed.
+    pub fn is_clean(&self) -> bool {
+        *self == TraceWarnings::default()
+    }
+
+    /// Total number of defects across all classes.
+    pub fn total(&self) -> u64 {
+        self.header_mangled
+            + self.count_mismatch
+            + self.zero_extent
+            + self.unknown_proc
+            + self.clamped_extent
+            + self.truncated_tail
+            + self.bad_lines
+    }
+}
+
+impl fmt::Display for TraceWarnings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut sep = "";
+        for (count, label) in [
+            (self.header_mangled, "mangled-header"),
+            (self.count_mismatch, "count-mismatch"),
+            (self.zero_extent, "zero-extent"),
+            (self.unknown_proc, "unknown-proc"),
+            (self.clamped_extent, "clamped-extent"),
+            (self.truncated_tail, "truncated-tail"),
+            (self.bad_lines, "bad-line"),
+        ] {
+            if count > 0 {
+                write!(f, "{sep}{count} {label}")?;
+                sep = ", ";
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads as many bytes as the reader can supply into `buf`, retrying on
+/// interrupts. Returns how many bytes were filled (short only at EOF).
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads a binary trace, recovering from corruption instead of failing.
+///
+/// Unlike [`read_binary`], this reader treats the header as advisory: a bad
+/// magic or version is tallied (assuming the version-1 record layout), the
+/// declared count is checked against what is actually present rather than
+/// trusted, and reading continues to end of input. Records are fixed-width,
+/// so a truncated tail costs at most one record. When `program` is given,
+/// records naming unknown procedures are dropped and oversized extents are
+/// clamped, guaranteeing the returned trace passes [`Trace::validate`].
+///
+/// # Errors
+///
+/// Fails only on genuine I/O errors from the reader; all format defects are
+/// reported through [`TraceWarnings`].
+pub fn read_binary_lossy<R: Read>(
+    mut r: R,
+    program: Option<&Program>,
+) -> Result<(Trace, TraceWarnings), TraceIoError> {
+    let mut warnings = TraceWarnings::default();
+    let mut header = [0u8; 16];
+    let filled = read_fully(&mut r, &mut header)?;
+    if filled < header.len() {
+        // Not even a whole header: nothing recoverable.
+        if filled > 0 {
+            warnings.header_mangled += 1;
+        }
+        return Ok((Trace::new(), warnings));
+    }
+    if header[0..4] != MAGIC {
+        warnings.header_mangled += 1;
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("slice is 4 bytes"));
+    if version != VERSION && header[0..4] == MAGIC {
+        warnings.header_mangled += 1;
+    }
+    let declared = u64::from_le_bytes(header[8..16].try_into().expect("slice is 8 bytes"));
+
+    // The declared count is advisory (a bit flip can make it absurd), so
+    // cap the preallocation and simply read until end of input.
+    let cap = usize::try_from(declared.min(PREALLOC_CAP)).unwrap_or(0);
+    let mut records = Vec::with_capacity(cap);
+    let mut raw_records: u64 = 0;
+    let mut rec = [0u8; 8];
+    loop {
+        let n = read_fully(&mut r, &mut rec)?;
+        if n == 0 {
+            break;
+        }
+        if n < rec.len() {
+            warnings.truncated_tail += 1;
+            break;
+        }
+        raw_records += 1;
+        let proc = u32::from_le_bytes(rec[0..4].try_into().expect("slice is 4 bytes"));
+        let mut bytes = u32::from_le_bytes(rec[4..8].try_into().expect("slice is 4 bytes"));
+        if bytes == 0 {
+            warnings.zero_extent += 1;
+            continue;
+        }
+        let proc = ProcId::new(proc);
+        if let Some(p) = program {
+            if proc.as_usize() >= p.len() {
+                warnings.unknown_proc += 1;
+                continue;
+            }
+            let size = p.size_of(proc);
+            if bytes > size {
+                warnings.clamped_extent += 1;
+                bytes = size;
+            }
+        }
+        records.push(TraceRecord::new(proc, bytes));
+    }
+    warnings.count_mismatch += declared.abs_diff(raw_records);
+    Ok((Trace::from_records(records), warnings))
+}
+
+/// Reads a text trace, skipping defective lines instead of failing.
+///
+/// Unparsable lines and zero-extent records are dropped and tallied. When
+/// `program` is given, unknown procedures are dropped and oversized extents
+/// clamped, as in [`read_binary_lossy`].
+///
+/// # Errors
+///
+/// Fails only on genuine I/O errors from the reader.
+pub fn read_text_lossy<R: BufRead>(
+    r: R,
+    program: Option<&Program>,
+) -> Result<(Trace, TraceWarnings), TraceIoError> {
+    let mut warnings = TraceWarnings::default();
+    let mut records = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(p), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            warnings.bad_lines += 1;
+            continue;
+        };
+        let (Ok(proc), Ok(mut bytes)) = (p.parse::<u32>(), b.parse::<u32>()) else {
+            warnings.bad_lines += 1;
+            continue;
+        };
+        if bytes == 0 {
+            warnings.zero_extent += 1;
+            continue;
+        }
+        let proc = ProcId::new(proc);
+        if let Some(prog) = program {
+            if proc.as_usize() >= prog.len() {
+                warnings.unknown_proc += 1;
+                continue;
+            }
+            let size = prog.size_of(proc);
+            if bytes > size {
+                warnings.clamped_extent += 1;
+                bytes = size;
+            }
+        }
+        records.push(TraceRecord::new(proc, bytes));
+    }
+    Ok((Trace::from_records(records), warnings))
 }
 
 /// Writes a trace in the text format: one `proc_index bytes` pair per line.
@@ -336,6 +565,114 @@ mod tests {
             read_text("0 0\n".as_bytes()).unwrap_err(),
             TraceIoError::ZeroExtent { index: 0 }
         ));
+    }
+
+    fn tiny_program() -> Program {
+        Program::builder()
+            .procedure("a", 64)
+            .procedure("b", 32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lossy_reads_clean_input_without_warnings() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let (back, w) = read_binary_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(back, t);
+        assert!(w.is_clean(), "unexpected warnings: {w}");
+    }
+
+    #[test]
+    fn lossy_recovers_truncated_prefix() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 4); // half a record gone
+        let (back, w) = read_binary_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(back.records(), &t.records()[..3]);
+        assert_eq!(w.truncated_tail, 1);
+        assert_eq!(w.count_mismatch, 1);
+    }
+
+    #[test]
+    fn lossy_tolerates_mangled_header() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        buf[0] = b'X'; // corrupt magic
+        let (back, w) = read_binary_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(w.header_mangled, 1);
+    }
+
+    #[test]
+    fn lossy_ignores_absurd_declared_count() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes()); // bit-flipped count
+        let (back, w) = read_binary_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(w.count_mismatch, u64::MAX - 4);
+    }
+
+    #[test]
+    fn lossy_skips_zero_extent_and_unknown_procs() {
+        let p = tiny_program();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        for (proc, bytes) in [(0u32, 10u32), (0, 0), (99, 10), (1, 5000)] {
+            buf.extend_from_slice(&proc.to_le_bytes());
+            buf.extend_from_slice(&bytes.to_le_bytes());
+        }
+        let (back, w) = read_binary_lossy(buf.as_slice(), Some(&p)).unwrap();
+        assert_eq!(w.zero_extent, 1);
+        assert_eq!(w.unknown_proc, 1);
+        assert_eq!(w.clamped_extent, 1);
+        assert_eq!(back.len(), 2);
+        back.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn lossy_handles_sub_header_input() {
+        let (t, w) = read_binary_lossy(&b"TMP"[..], None).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(w.header_mangled, 1);
+        let (t, w) = read_binary_lossy(&b""[..], None).unwrap();
+        assert!(t.is_empty());
+        assert!(w.is_clean());
+    }
+
+    #[test]
+    fn lossy_text_skips_bad_lines() {
+        let p = tiny_program();
+        let src = "0 10\nwhat even\n1 0\n99 5\n1 5000\n1 8\n";
+        let (t, w) = read_text_lossy(src.as_bytes(), Some(&p)).unwrap();
+        assert_eq!(w.bad_lines, 1);
+        assert_eq!(w.zero_extent, 1);
+        assert_eq!(w.unknown_proc, 1);
+        assert_eq!(w.clamped_extent, 1);
+        assert_eq!(t.len(), 3);
+        t.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn warnings_display_summarizes() {
+        let w = TraceWarnings {
+            zero_extent: 2,
+            truncated_tail: 1,
+            ..TraceWarnings::default()
+        };
+        let s = w.to_string();
+        assert!(s.contains("2 zero-extent"));
+        assert!(s.contains("1 truncated-tail"));
+        assert_eq!(w.total(), 3);
+        assert_eq!(TraceWarnings::default().to_string(), "clean");
     }
 
     #[test]

@@ -90,10 +90,15 @@ impl Trace {
 
     /// Per-procedure dynamic reference counts (number of records naming each
     /// procedure). This is the popularity signal of §4 of the paper.
+    ///
+    /// Records naming procedures outside the program are ignored, so this is
+    /// safe to call on unvalidated traces.
     pub fn reference_counts(&self, program: &Program) -> Vec<u64> {
         let mut counts = vec![0u64; program.len()];
         for r in &self.records {
-            counts[r.proc.as_usize()] += 1;
+            if let Some(c) = counts.get_mut(r.proc.as_usize()) {
+                *c += 1;
+            }
         }
         counts
     }

@@ -49,6 +49,9 @@
 
 // In the test build, `unwrap` IS the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+// Outside tests this crate must never panic on a Result: the workspace
+// warns on `unwrap_used`; here it is a hard error.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod graph;
 pub mod io;
@@ -60,5 +63,5 @@ mod qset;
 pub use graph::{Edge, WeightedGraph};
 pub use pairdb::PairDb;
 pub use popular::{PopularSet, PopularitySelector};
-pub use profiler::{ProfileData, ProfileStream, Profiler, QStats};
+pub use profiler::{ProfileData, ProfileStream, ProfileWarnings, Profiler, QStats};
 pub use qset::{QSet, QSetEvent};

@@ -19,6 +19,57 @@ pub struct QStats {
     pub max: usize,
 }
 
+/// Tallies of defective trace records the profiler repaired or dropped.
+///
+/// The profiler never indexes the program with untrusted record fields:
+/// records naming unknown procedures or carrying zero extents are dropped,
+/// oversized extents are clamped to the procedure size, and each repair is
+/// counted here. Unmatched returns need no tally — the trace model is
+/// transition-grain (calls and returns are both just transitions), so a
+/// stack imbalance in the traced program cannot desynchronize the profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ProfileWarnings {
+    /// Records dropped because they name a procedure the program lacks.
+    pub unknown_proc: u64,
+    /// Records dropped because they carry a zero byte extent.
+    pub zero_extent: u64,
+    /// Records whose extent exceeded the procedure size and was clamped.
+    pub clamped_extent: u64,
+}
+
+impl ProfileWarnings {
+    /// Returns `true` when every record was consumed as-is.
+    pub fn is_clean(&self) -> bool {
+        *self == ProfileWarnings::default()
+    }
+
+    /// Total number of repaired or dropped records.
+    pub fn total(&self) -> u64 {
+        self.unknown_proc + self.zero_extent + self.clamped_extent
+    }
+}
+
+impl fmt::Display for ProfileWarnings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut sep = "";
+        for (count, label) in [
+            (self.unknown_proc, "unknown-proc"),
+            (self.zero_extent, "zero-extent"),
+            (self.clamped_extent, "clamped-extent"),
+        ] {
+            if count > 0 {
+                write!(f, "{sep}{count} {label}")?;
+                sep = ", ";
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Everything a placement algorithm needs to know about a training run.
 ///
 /// * `wcg` — weighted call graph over **procedure** ids: edge weight =
@@ -161,7 +212,16 @@ impl<'p> Profiler<'p> {
     }
 
     /// Runs both passes over the trace and returns the profile.
+    ///
+    /// Defective records are repaired or dropped silently; use
+    /// [`profile_lossy`](Profiler::profile_lossy) to learn how many were.
     pub fn profile(self, trace: &Trace) -> ProfileData {
+        self.profile_lossy(trace).0
+    }
+
+    /// Like [`profile`](Profiler::profile), but also reports how many
+    /// records were repaired or dropped as a [`ProfileWarnings`].
+    pub fn profile_lossy(self, trace: &Trace) -> (ProfileData, ProfileWarnings) {
         let popular = match self.popular.clone() {
             Some(p) => p,
             None => self.selector.select(self.program, trace),
@@ -170,7 +230,7 @@ impl<'p> Profiler<'p> {
         for record in trace.iter() {
             stream.observe(record);
         }
-        stream.finish()
+        stream.finish_with_warnings()
     }
 
     /// Converts the profiler into a streaming builder over the given
@@ -191,6 +251,7 @@ impl<'p> Profiler<'p> {
             pair_db: self.build_pair_db.then(PairDb::new),
             prev: None,
             records: 0,
+            warnings: ProfileWarnings::default(),
         }
     }
 }
@@ -212,11 +273,26 @@ pub struct ProfileStream<'p> {
     pair_db: Option<PairDb>,
     prev: Option<tempo_program::ProcId>,
     records: u64,
+    warnings: ProfileWarnings,
 }
 
 impl ProfileStream<'_> {
     /// Processes one trace record.
+    ///
+    /// Records that disagree with the program are dropped (unknown
+    /// procedure, zero extent) or repaired (oversized extent, clamped) and
+    /// tallied in [`warnings`](ProfileStream::warnings) rather than indexed
+    /// blindly. A dropped record leaves `prev` untouched, splicing its
+    /// neighbours together as if the noise record never happened.
     pub fn observe(&mut self, record: &TraceRecord) {
+        if record.proc.as_usize() >= self.program.len() {
+            self.warnings.unknown_proc += 1;
+            return;
+        }
+        if record.bytes == 0 {
+            self.warnings.zero_extent += 1;
+            return;
+        }
         self.records += 1;
         // WCG: every adjacent transition between distinct procedures.
         if let Some(p) = self.prev {
@@ -240,7 +316,10 @@ impl ProfileStream<'_> {
         // Chunk-grain Q drives TRG_place (and the pair database).
         // A record executing `bytes` bytes references its chunks
         // 0 ..= (bytes-1)/chunk_size in order.
-        let bytes = record.bytes.min(size).max(1);
+        if record.bytes > size {
+            self.warnings.clamped_extent += 1;
+        }
+        let bytes = record.bytes.min(size);
         let first_chunk = self.program.chunks_of(record.proc).start;
         let executed = (bytes - 1) / self.program.chunk_size() + 1;
         for k in 0..executed {
@@ -260,9 +339,20 @@ impl ProfileStream<'_> {
         }
     }
 
-    /// Records observed so far.
+    /// Records accepted so far (dropped records are not counted).
     pub fn records_seen(&self) -> u64 {
         self.records
+    }
+
+    /// Tallies of repaired or dropped records so far.
+    pub fn warnings(&self) -> ProfileWarnings {
+        self.warnings
+    }
+
+    /// Completes the profile, also reporting repair tallies.
+    pub fn finish_with_warnings(self) -> (ProfileData, ProfileWarnings) {
+        let warnings = self.warnings;
+        (self.finish(), warnings)
     }
 
     /// Completes the profile.
@@ -515,6 +605,52 @@ mod tests {
             batch.trg_place.total_weight()
         );
         assert_eq!(streamed.q_stats, batch.q_stats);
+    }
+
+    #[test]
+    fn hostile_records_are_dropped_with_counters() {
+        let p = program();
+        let (m, x) = (ProcId::new(0), ProcId::new(1));
+        let t = Trace::from_records(vec![
+            TraceRecord::new(m, 128),
+            TraceRecord::new(ProcId::new(999), 64), // unknown: dropped
+            TraceRecord::new(x, 0),                 // zero extent: dropped
+            TraceRecord::new(x, u32::MAX),          // oversized: clamped
+            TraceRecord::new(m, 128),
+        ]);
+        let (prof, w) = Profiler::new(&p, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile_lossy(&t);
+        assert_eq!(w.unknown_proc, 1);
+        assert_eq!(w.zero_extent, 1);
+        assert_eq!(w.clamped_extent, 1);
+        assert_eq!(w.total(), 3);
+        // The dropped records splice out: m-x-m still interleaves.
+        assert!(prof.wcg.weight(0, 1) > 0.0);
+        assert!(prof.trg_select.weight(0, 1) > 0.0);
+        // No graph node exists for the unknown procedure.
+        assert_eq!(prof.wcg.weight(0, 999), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let p = program();
+        let (prof, w) =
+            Profiler::new(&p, CacheConfig::direct_mapped_8k()).profile_lossy(&Trace::new());
+        assert!(w.is_clean());
+        assert_eq!(prof.wcg.total_weight(), 0.0);
+        assert_eq!(prof.trg_select.total_weight(), 0.0);
+        assert_eq!(prof.q_stats.average, 0.0);
+    }
+
+    #[test]
+    fn clean_traces_report_clean_warnings() {
+        let p = program();
+        let (prof, w) = Profiler::new(&p, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile_lossy(&trace1(&p, 10));
+        assert!(w.is_clean(), "unexpected: {w}");
+        assert!(prof.wcg.total_weight() > 0.0);
     }
 
     #[test]

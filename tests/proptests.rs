@@ -505,3 +505,86 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Lossy/strict trace-reader contracts
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating a serialized trace at any byte offset yields either an
+    /// accurate `Truncated { expected, found }` (strict) and a recovered
+    /// prefix of exactly the surviving complete records (lossy), or — when
+    /// the cut lands inside the 16-byte header — a header-class error
+    /// (strict) and an empty-but-warned recovery (lossy).
+    #[test]
+    fn truncated_binary_trace_reports_and_recovers_accurately(
+        (program, trace) in program_and_trace(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use tempo::trace::io::{read_binary, read_binary_lossy, TraceIoError};
+        const HEADER: usize = 16;
+        const RECORD: usize = 8;
+
+        let mut bytes = Vec::new();
+        tempo::trace::io::write_binary(&mut bytes, &trace).unwrap();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        bytes.truncate(cut);
+
+        let strict = read_binary(bytes.as_slice());
+        let (recovered, warnings) =
+            read_binary_lossy(bytes.as_slice(), Some(&program)).unwrap();
+
+        if cut < HEADER {
+            prop_assert!(strict.is_err());
+            prop_assert_eq!(recovered.len(), 0);
+            // An empty input is vacuously clean; any partial header warns.
+            prop_assert_eq!(warnings.header_mangled, u64::from(cut > 0));
+        } else {
+            let survivors = (cut - HEADER) / RECORD;
+            match strict {
+                Err(TraceIoError::Truncated { expected, found }) => {
+                    prop_assert_eq!(expected, trace.len() as u64);
+                    prop_assert_eq!(found, survivors as u64);
+                }
+                other => prop_assert!(false, "expected Truncated, got {:?}", other),
+            }
+            prop_assert_eq!(recovered.len(), survivors);
+            // The recovered records are a byte-exact prefix.
+            prop_assert_eq!(recovered.records(), &trace.records()[..survivors]);
+            prop_assert!(!warnings.is_clean());
+        }
+    }
+
+    /// The strict text reader points at the offending line with 1-based
+    /// numbering; the lossy text reader skips it and counts it.
+    #[test]
+    fn text_reader_reports_one_based_bad_lines(
+        (program, trace) in program_and_trace(),
+        bad_at_frac in 0.0f64..1.0,
+    ) {
+        use tempo::trace::io::{read_text, read_text_lossy, TraceIoError};
+
+        let mut buf = Vec::new();
+        tempo::trace::io::write_text(&mut buf, &trace).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let bad_at = ((lines.len() - 1) as f64 * bad_at_frac) as usize;
+        lines.insert(bad_at, "not a record".to_string());
+        let mangled = lines.join("\n");
+
+        match read_text(mangled.as_bytes()) {
+            Err(TraceIoError::BadLine { line }) => {
+                prop_assert_eq!(line, bad_at + 1, "line numbers are 1-based");
+            }
+            other => prop_assert!(false, "expected BadLine, got {:?}", other),
+        }
+
+        let (recovered, warnings) =
+            read_text_lossy(mangled.as_bytes(), Some(&program)).unwrap();
+        prop_assert_eq!(warnings.bad_lines, 1);
+        prop_assert_eq!(recovered.len(), trace.len());
+    }
+}
