@@ -1,50 +1,6 @@
-//! **Ablation (§4)**: "extra temporal ordering information alone is not
-//! sufficient to guarantee lower instruction cache miss rates."
-//!
-//! Cross of the paper's two ingredients:
-//!
-//! | | chains (PH placement) | offset scan (GBSC placement) |
-//! |---|---|---|
-//! | **WCG selection** | PH | WCG+offsets |
-//! | **TRG selection** | TRG+chains | GBSC |
-//!
-//! Run: `cargo run --release -p tempo-bench --bin ablation_chains
-//!       [--records N]`
-
-use tempo::place::{TrgChains, WcgOffsets};
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::ablation_chains`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-
-    println!(
-        "{:<12} {:>9} {:>9} {:>11} {:>12} {:>9}",
-        "benchmark", "default", "PH", "TRG+chains", "WCG+offsets", "GBSC"
-    );
-    for model in suite::standard_suite() {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        let session = Session::new(program, cache).profile(&train);
-        let mr = |alg: &dyn PlacementAlgorithm| {
-            session.evaluate(&session.place(alg), &test).miss_rate() * 100.0
-        };
-        println!(
-            "{:<12} {:>8.2}% {:>8.2}% {:>10.2}% {:>11.2}% {:>8.2}%",
-            model.name(),
-            session
-                .evaluate(&Layout::source_order(program), &test)
-                .miss_rate()
-                * 100.0,
-            mr(&PettisHansen::new()),
-            mr(&TrgChains::new()),
-            mr(&WcgOffsets::new()),
-            mr(&Gbsc::new()),
-        );
-    }
-    println!("\npaper's claim: the TRG alone (TRG+chains) does not guarantee wins;");
-    println!("only TRG selection *plus* the cache-aware offset scan (GBSC) does.");
+    tempo_bench::harness::bin_main("ablation_chains");
 }

@@ -1,52 +1,6 @@
-//! **§5.2 remark**: "We also experimented with smaller cache sizes and
-//! obtained similar results."
-//!
-//! Sweeps the direct-mapped cache size from 2 KB to 16 KB and reports the
-//! testing miss rate of default, PH, HKC, and GBSC for each size (each
-//! algorithm re-profiled and re-placed per size, since the Q bound and the
-//! offset space depend on the geometry).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin cache_sweep
-//!       [--records N] [--out sweep.csv]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::{checked_place, CommonArgs};
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::cache_sweep`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let mut csv = Vec::new();
-
-    for model in [suite::m88ksim(), suite::perl(), suite::go()] {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        println!("=== {} ===", model.name());
-        println!(
-            "{:>8} {:>9} {:>9} {:>9} {:>9}",
-            "cache", "default", "PH", "HKC", "GBSC"
-        );
-        for kb in [2u32, 4, 8, 16] {
-            let cache = CacheConfig::direct_mapped(kb * 1024).expect("valid size");
-            let session = Session::new(program, cache).profile(&train);
-            let mr = |l: &Layout| session.evaluate(l, &test).miss_rate() * 100.0;
-            let d = mr(&Layout::source_order(program));
-            let ph = mr(&checked_place(&session, &PettisHansen::new()));
-            let hkc = mr(&checked_place(&session, &CacheColoring::new()));
-            let gbsc = mr(&checked_place(&session, &Gbsc::new()));
-            println!("{kb:>6}KB {d:>8.2}% {ph:>8.2}% {hkc:>8.2}% {gbsc:>8.2}%");
-            csv.push(format!(
-                "{},{kb},{d:.4},{ph:.4},{hkc:.4},{gbsc:.4}",
-                model.name()
-            ));
-        }
-        println!();
-    }
-
-    if let Some(path) = &args.out {
-        tempo_bench::write_csv(path, "benchmark,cache_kb,default,ph,hkc,gbsc", &csv)
-            .expect("write csv");
-        println!("wrote {path}");
-    }
-    println!("paper: the GBSC advantage persists across smaller cache sizes.");
+    tempo_bench::harness::bin_main("cache_sweep");
 }

@@ -1,49 +1,6 @@
-//! **Ablation (§4.1)**: "we have found that a chunk size of 256 bytes
-//! works well."
-//!
-//! Rebuilds each benchmark's program with chunk sizes 64..1024 bytes
-//! (the granularity of `TRG_place`), re-profiles, re-places with GBSC,
-//! and reports the testing miss rate. Smaller chunks cost profile space
-//! and time; larger chunks blur the intra-procedure conflict structure.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin chunk_sweep [--records N]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
-
-/// Rebuilds `program` with a different chunk size (procedures unchanged).
-fn with_chunk_size(program: &Program, chunk_size: u32) -> Program {
-    let mut b = Program::builder();
-    b.chunk_size(chunk_size);
-    for (_, p) in program.iter() {
-        b.procedure(p.name().to_string(), p.size());
-    }
-    b.build().expect("same procedures, different chunking")
-}
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::chunk_sweep`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}   (GBSC miss rate by chunk size)",
-        "benchmark", "64B", "128B", "256B", "512B", "1024B"
-    );
-    for model in [suite::m88ksim(), suite::perl(), suite::go()] {
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        print!("{:<12}", model.name());
-        for chunk in [64u32, 128, 256, 512, 1024] {
-            let program = with_chunk_size(model.program(), chunk);
-            let session = Session::new(&program, cache).profile(&train);
-            let mr = session
-                .evaluate(&session.place(&Gbsc::new()), &test)
-                .miss_rate()
-                * 100.0;
-            print!(" {mr:>7.2}%");
-        }
-        println!();
-    }
-    println!("\npaper: 256 bytes is the sweet spot; the curve should be shallow around it.");
+    tempo_bench::harness::bin_main("chunk_sweep");
 }

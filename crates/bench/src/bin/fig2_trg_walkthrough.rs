@@ -1,79 +1,6 @@
-//! **Figures 2 and 3**: TRG construction walkthrough on trace #2.
-//!
-//! Replays the paper's Figure 3 step by step: the contents of the ordered
-//! set `Q` and the TRG edges after each processed reference, using the
-//! `M X M X ... M Z ...` prefix the figure illustrates, then prints the
-//! full TRG for trace #2 (the paper's Figure 2).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin fig2_trg_walkthrough`
-
-use tempo::prelude::*;
-use tempo::trg::QSet;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::fig2_trg_walkthrough`].
 
 fn main() {
-    let program = Program::builder()
-        .procedure("M", 512)
-        .procedure("X", 512)
-        .procedure("Y", 512)
-        .procedure("Z", 512)
-        .build()
-        .expect("valid program");
-    let name = |id: u32| program.proc(ProcId::new(id)).name().to_string();
-
-    // --- Figure 3: step-by-step Q processing -----------------------------
-    println!("Figure 3 walkthrough (Q bound = 2 x 8 KB):");
-    let mut q = QSet::new(2 * 8192);
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let steps: &[u32] = &[0, 1, 0, 1, 0, 3, 0, 1]; // M X M X M Z M X
-    for &p in steps {
-        let ev = q.process(p, 512);
-        for &other in &ev.interleaved {
-            edges.push((p.min(other), p.max(other)));
-        }
-        let qcontents: Vec<String> = q.entries().map(&name).collect();
-        let increments: Vec<String> = ev
-            .interleaved
-            .iter()
-            .map(|&o| format!("W({},{})+=1", name(p), name(o)))
-            .collect();
-        println!(
-            "  process {:<2} -> Q = [{}]  {}",
-            name(p),
-            qcontents.join(", "),
-            if increments.is_empty() {
-                "(no previous reference: no TRG change)".to_string()
-            } else {
-                increments.join(", ")
-            }
-        );
-    }
-
-    // --- Figure 2: the full TRG for trace #2 ----------------------------
-    let ids: Vec<ProcId> = program.ids().collect();
-    let (m, x, y) = (ids[0], ids[1], ids[2]);
-    let mut refs = Vec::new();
-    for _ in 0..40 {
-        refs.extend([m, x]);
-    }
-    for _ in 0..40 {
-        refs.extend([m, y]);
-    }
-    let trace2 = Trace::from_full_records(&program, refs);
-    let profile = Profiler::new(&program, CacheConfig::direct_mapped_8k())
-        .popularity(PopularitySelector::all())
-        .profile(&trace2);
-
-    println!("\nFigure 2: TRG for trace #2 (WCG weight in parentheses):");
-    for e in profile.trg_select.edges() {
-        println!(
-            "  {} -- {} : {}  (WCG {})",
-            name(e.a),
-            name(e.b),
-            e.w,
-            profile.wcg.weight(e.a, e.b)
-        );
-    }
-    println!(
-        "\npaper: TRG edge weights are nearly double the WCG's; edges appear only\nwhere interleaving occurs (none between X and Y in trace #2)."
-    );
+    tempo_bench::harness::bin_main("fig2_trg_walkthrough");
 }

@@ -1,80 +1,6 @@
-//! **Figure 5**: sorted miss-rate distributions per benchmark.
-//!
-//! For each of the six benchmarks and each algorithm (PH, HKC, GBSC), run
-//! 40 placements on multiplicatively perturbed profiles (s = 0.1), simulate
-//! the testing trace, and print the sorted miss rates — the CDF the paper
-//! plots — plus the miss rate of each algorithm on the unperturbed profile
-//! (the "MR" inset tables of Figure 5).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin fig5
-//!       [--records N] [--runs N] [--seed N] [--out fig5.csv]`
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::{sorted, CommonArgs};
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::fig5`].
 
 fn main() {
-    let args = CommonArgs::parse(200_000, 40);
-    let cache = CacheConfig::direct_mapped_8k();
-    let mut csv: Vec<String> = Vec::new();
-
-    for model in suite::standard_suite() {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        let session = Session::new(program, cache).profile(&train);
-
-        println!("=== {} ===", model.name());
-        let default_mr = session
-            .evaluate(&Layout::source_order(program), &test)
-            .miss_rate()
-            * 100.0;
-        println!("default layout MR: {default_mr:.2}%");
-
-        let algorithms: &[&dyn PlacementAlgorithm] =
-            &[&PettisHansen::new(), &CacheColoring::new(), &Gbsc::new()];
-        for alg in algorithms {
-            // Unperturbed run (the inset MR table of Figure 5).
-            let clean = session.evaluate(&session.place(*alg), &test).miss_rate() * 100.0;
-
-            let mut rng = StdRng::seed_from_u64(args.seed);
-            let rates: Vec<f64> = (0..args.runs)
-                .map(|_| {
-                    let perturbed = session.perturbed(0.1, &mut rng);
-                    let layout = perturbed.place(*alg);
-                    perturbed.evaluate(&layout, &test).miss_rate() * 100.0
-                })
-                .collect();
-            let s = sorted(&rates);
-            println!(
-                "{:<5} MR {:>5.2}%  perturbed: min {:.2}% / median {:.2}% / max {:.2}%",
-                alg.name(),
-                clean,
-                s[0],
-                s[s.len() / 2],
-                s[s.len() - 1]
-            );
-            // CDF points: x = miss rate, y = fraction of placements <= x.
-            for (i, mr) in s.iter().enumerate() {
-                csv.push(format!(
-                    "{},{},{:.4},{:.4}",
-                    model.name(),
-                    alg.name(),
-                    mr,
-                    (i + 1) as f64 / s.len() as f64
-                ));
-            }
-        }
-        println!();
-    }
-
-    if let Some(path) = &args.out {
-        tempo_bench::write_csv(path, "benchmark,algorithm,miss_rate_pct,cdf", &csv)
-            .expect("write csv");
-        println!("wrote {path}");
-    }
-    println!("paper: GBSC's point cloud sits left of PH and HKC for all benchmarks");
-    println!("except m88ksim and perl, where the ranges overlap.");
+    tempo_bench::harness::bin_main("fig5");
 }

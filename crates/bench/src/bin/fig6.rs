@@ -1,70 +1,6 @@
-//! **Figure 6**: conflict-metric ↔ miss-rate correlation.
-//!
-//! Generates 80 layouts of the `go` benchmark by randomly re-aligning 0–50
-//! procedures of the GBSC placement (exactly the paper's procedure), then
-//! plots — as CSV/summary — each layout's simulated miss rate against:
-//!
-//! * the TRG_place-based conflict metric (top of the paper's figure:
-//!   expected to be nearly linear), and
-//! * the WCG-based metric (bottom: expected to correlate poorly).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin fig6
-//!       [--records N] [--runs N] [--seed N] [--out fig6.csv]`
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tempo::place::metric::{trg_conflict_cost, wcg_conflict_cost};
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::{pearson, CommonArgs};
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::fig6`].
 
 fn main() {
-    let args = CommonArgs::parse(200_000, 80);
-    let cache = CacheConfig::direct_mapped_8k();
-    let model = suite::go();
-    let program = model.program();
-    let train = model.training_trace(args.records);
-    let test = model.testing_trace(args.records);
-    let session = Session::new(program, cache).profile(&train);
-    let base = Gbsc::new().place_tuples(&session.context());
-
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut trg_points = Vec::with_capacity(args.runs);
-    let mut wcg_points = Vec::with_capacity(args.runs);
-    let mut csv = Vec::with_capacity(args.runs);
-    for run in 0..args.runs {
-        let mut tuples = base.clone();
-        // "randomly selecting 0-50 procedures ... and randomly changing
-        // their cache-relative offsets" (§5.3).
-        let k = rng.gen_range(0..=50usize);
-        tuples.randomize_offsets(k, &mut rng);
-        let layout = tuples.into_layout(&session.context());
-        let stats = session.evaluate(&layout, &test);
-        let mr = stats.miss_rate() * 100.0;
-        let trg_cost = trg_conflict_cost(program, &layout, &session.profile().trg_place, cache);
-        let wcg_cost = wcg_conflict_cost(program, &layout, &session.profile().wcg, cache);
-        trg_points.push((mr, trg_cost));
-        wcg_points.push((mr, wcg_cost));
-        csv.push(format!("{run},{k},{mr:.4},{trg_cost:.1},{wcg_cost:.1}"));
-    }
-
-    let r_trg = pearson(&trg_points);
-    let r_wcg = pearson(&wcg_points);
-    println!("{} layouts of go ({} records):", args.runs, args.records);
-    println!("  TRG metric vs miss rate: pearson r = {r_trg:.3}   (paper: near-linear)");
-    println!("  WCG metric vs miss rate: pearson r = {r_wcg:.3}   (paper: poor predictor)");
-    let spread = |pts: &[(f64, f64)]| {
-        let mrs: Vec<f64> = pts.iter().map(|p| p.0).collect();
-        let lo = mrs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = mrs.iter().cloned().fold(0.0, f64::max);
-        (lo, hi)
-    };
-    let (lo, hi) = spread(&trg_points);
-    println!("  miss-rate range across layouts: {lo:.2}% .. {hi:.2}%");
-
-    if let Some(path) = &args.out {
-        tempo_bench::write_csv(path, "run,k_mutated,miss_rate_pct,trg_cost,wcg_cost", &csv)
-            .expect("write csv");
-        println!("wrote {path}");
-    }
+    tempo_bench::harness::bin_main("fig6");
 }

@@ -1,46 +1,6 @@
-//! **§5.3 note**: m88ksim with train = test.
-//!
-//! The paper's m88ksim train/test pair is a poor match ("dcrand is a poor
-//! training set for dhry"), so its headline numbers are inconclusive; when
-//! training and testing on the *same* input (dcrand) the paper reports
-//! 0.13% (GBSC), 0.19% (HKC), 0.23% (PH). This binary reproduces both
-//! views: cross-input and same-input miss rates for all three algorithms.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin m88ksim_same_input
-//!       [--records N]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::m88ksim_same_input`].
 
 fn main() {
-    let args = CommonArgs::parse(200_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-    let model = suite::m88ksim();
-    let program = model.program();
-    let train = model.training_trace(args.records);
-    let test = model.testing_trace(args.records);
-    let session = Session::new(program, cache).profile(&train);
-
-    let algorithms: &[&dyn PlacementAlgorithm] =
-        &[&PettisHansen::new(), &CacheColoring::new(), &Gbsc::new()];
-
-    println!("m88ksim ({} records):", args.records);
-    println!("{:<6} {:>16} {:>16}", "alg", "train->test", "train->train");
-    for alg in algorithms {
-        let layout = session.place(*alg);
-        let cross = session.evaluate(&layout, &test).miss_rate() * 100.0;
-        let same = session.evaluate(&layout, &train).miss_rate() * 100.0;
-        println!("{:<6} {cross:>15.2}% {same:>15.2}%", alg.name());
-    }
-    let d = Layout::source_order(program);
-    println!(
-        "{:<6} {:>15.2}% {:>15.2}%",
-        "default",
-        session.evaluate(&d, &test).miss_rate() * 100.0,
-        session.evaluate(&d, &train).miss_rate() * 100.0
-    );
-    println!(
-        "\npaper (train = test = dcrand): GBSC 0.13% < HKC 0.19% < PH 0.23% —\nthe ordering, not the absolute level, is the reproduction target."
-    );
+    tempo_bench::harness::bin_main("m88ksim_same_input");
 }

@@ -1,55 +1,6 @@
-//! **Diagnostic**: cold / capacity / conflict decomposition per algorithm.
-//!
-//! Placement can only remove *conflict* misses. This binary classifies
-//! every miss (three-C taxonomy, via a lockstep fully-associative LRU
-//! model) for the default, PH, HKC, and GBSC layouts, showing that GBSC's
-//! advantage comes exactly from the conflict column while cold/capacity
-//! stay constant across layouts of the same trace — the mechanism behind
-//! the paper's Figure 5 results.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin miss_breakdown
-//!       [--records N]`
-
-use tempo::cache::classify;
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::{checked_place, CommonArgs};
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::miss_breakdown`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-
-    for model in [suite::m88ksim(), suite::perl()] {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        let session = Session::new(program, cache).profile(&train);
-
-        println!("=== {} ===", model.name());
-        println!(
-            "{:<8} {:>10} {:>10} {:>10} {:>8} {:>9}",
-            "layout", "cold", "capacity", "conflict", "MR", "conflict%"
-        );
-        let layouts: Vec<(&str, Layout)> = vec![
-            ("default", Layout::source_order(program)),
-            ("PH", checked_place(&session, &PettisHansen::new())),
-            ("HKC", checked_place(&session, &CacheColoring::new())),
-            ("GBSC", checked_place(&session, &Gbsc::new())),
-        ];
-        for (name, layout) in &layouts {
-            let b = classify(program, layout, &test, cache);
-            println!(
-                "{:<8} {:>10} {:>10} {:>10} {:>7.2}% {:>8.1}%",
-                name,
-                b.cold,
-                b.capacity,
-                b.conflict,
-                b.miss_rate() * 100.0,
-                b.conflict_fraction() * 100.0
-            );
-        }
-        println!();
-    }
-    println!("cold and capacity are layout-invariant; every miss GBSC removes");
-    println!("comes out of the conflict column — the misses the paper targets.");
+    tempo_bench::harness::bin_main("miss_breakdown");
 }

@@ -1,47 +1,6 @@
-//! **§5.1 anecdote**: layout fragility under trivial padding.
-//!
-//! The paper pads every procedure of a perl layout by one 32-byte cache
-//! line and watches the miss rate jump from 3.8% to 5.4%. This binary
-//! reproduces the experiment: take the GBSC layout of perl, add k lines of
-//! padding after every procedure for k = 0..8, and report the miss rate of
-//! each variant.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin padding_sensitivity
-//!       [--records N]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::padding_sensitivity`].
 
 fn main() {
-    let args = CommonArgs::parse(200_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-    let model = suite::perl();
-    let program = model.program();
-    let train = model.training_trace(args.records);
-    let test = model.testing_trace(args.records);
-    let session = Session::new(program, cache).profile(&train);
-    let layout = session.place(&Gbsc::new());
-
-    let base = session.evaluate(&layout, &test);
-    println!(
-        "perl, GBSC layout: {:.2}% miss rate",
-        base.miss_rate() * 100.0
-    );
-    println!("\nsame procedure order, repacked with k bytes of padding after every");
-    println!("procedure (k = 0 drops GBSC's alignment gaps entirely):");
-    println!("{:>8} {:>10} {:>8}", "pad", "misses", "MR");
-    for pad_lines in 0u64..=8 {
-        let padded = layout.with_uniform_padding(program, pad_lines * 32);
-        let stats = session.evaluate(&padded, &test);
-        println!(
-            "{:>5} B {:>10} {:>7.2}%",
-            pad_lines * 32,
-            stats.misses,
-            stats.miss_rate() * 100.0,
-        );
-    }
-    println!(
-        "\npaper saw 3.8% -> 5.4% for perl from a single line of padding; the\nreproduction target is the *swing* from trivial layout changes, plus the\ngap between the aligned GBSC layout and any repacked variant."
-    );
+    tempo_bench::harness::bin_main("padding_sensitivity");
 }

@@ -1,57 +1,6 @@
-//! **§8 outlook**: layout effects on the next layer of the memory
-//! hierarchy.
-//!
-//! The paper's §4.3 notes the linearization could be adapted to reduce
-//! paging problems, and §8 plans to extend the temporal techniques to
-//! "other layers of the memory hierarchy". This binary measures what the
-//! cache-driven layouts do to *page-level* locality: each layout is run
-//! against a small fully-associative LRU page buffer (4 KB pages — an
-//! ITLB/page-cache stand-in, modeled with the same simulator, since a
-//! fully-associative LRU cache with page-sized lines *is* a page buffer).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin paging [--records N]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::paging`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let icache = CacheConfig::direct_mapped_8k();
-    // 32-entry fully-associative LRU buffer of 4 KB pages.
-    let pages = CacheConfig::new(32 * 4096, 4096, 32).expect("valid page buffer");
-
-    for model in [suite::gcc(), suite::vortex()] {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        let session = Session::new(program, icache).profile(&train);
-
-        println!("=== {} (32 x 4 KB LRU page buffer) ===", model.name());
-        println!(
-            "{:<8} {:>10} {:>12} {:>10} {:>9}",
-            "layout", "span", "page faults", "fault MR", "I$ MR"
-        );
-        let layouts: Vec<(&str, Layout)> = vec![
-            ("default", Layout::source_order(program)),
-            ("PH", session.place(&PettisHansen::new())),
-            ("GBSC", session.place(&Gbsc::new())),
-        ];
-        for (name, layout) in &layouts {
-            let pstats = simulate(program, layout, &test, pages);
-            let istats = simulate(program, layout, &test, icache);
-            println!(
-                "{:<8} {:>9}K {:>12} {:>9.3}% {:>8.2}%",
-                name,
-                layout.span(program) / 1024,
-                pstats.misses,
-                pstats.line_miss_rate() * 100.0,
-                istats.miss_rate() * 100.0
-            );
-        }
-        println!();
-    }
-    println!("The smallest-gap linearization keeps popular procedures dense, so the");
-    println!("cache-optimized layouts also page as well as (or better than) default —");
-    println!("the gaps are filled with unpopular code, not holes.");
+    tempo_bench::harness::bin_main("paging");
 }

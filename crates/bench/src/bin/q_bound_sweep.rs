@@ -1,52 +1,6 @@
-//! **Ablation (§3)**: "Empirically, we have found that a bound on Q of
-//! twice the cache size works quite well."
-//!
-//! Sweeps the Q capacity bound from 1x to 8x the cache size and reports
-//! GBSC's testing miss rate plus the resulting profile sizes. Too small a
-//! bound truncates real temporal relationships; too large a bound adds
-//! stale capacity-eviction "relationships" (and profile bulk) without
-//! improving placements.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin q_bound_sweep
-//!       [--records N]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::q_bound_sweep`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-
-    for model in [suite::m88ksim(), suite::go()] {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-        println!("=== {} ===", model.name());
-        println!(
-            "{:>7} {:>9} {:>12} {:>10} {:>9}",
-            "bound", "avg Q", "TRG edges", "place edges", "GBSC MR"
-        );
-        for factor in [1u64, 2, 4, 8] {
-            let profile = Profiler::new(program, cache)
-                .q_bound_factor(factor)
-                .profile(&train);
-            let session = tempo::ProfiledSession::from_profile(program, profile);
-            let mr = session
-                .evaluate(&session.place(&Gbsc::new()), &test)
-                .miss_rate()
-                * 100.0;
-            println!(
-                "{:>5}x {:>9.1} {:>12} {:>10} {:>8.2}%",
-                factor,
-                session.profile().q_stats.average,
-                session.profile().trg_select.edge_count(),
-                session.profile().trg_place.edge_count(),
-                mr
-            );
-        }
-        println!();
-    }
-    println!("paper: 2x is the empirical sweet spot — gains flatten beyond it while");
-    println!("profile size keeps growing.");
+    tempo_bench::harness::bin_main("q_bound_sweep");
 }

@@ -1,50 +1,6 @@
-//! **Diagnostic (§3)**: reuse-distance support for the Q-set bound.
-//!
-//! The paper keeps a block in `Q` until twice the cache size of unique
-//! code has passed since its last reference, arguing that reuses beyond
-//! that are capacity-doomed anyway. This binary computes each benchmark's
-//! byte reuse-distance distribution and reports what fraction of reuses
-//! fall within one and two cache sizes — i.e. how much of the temporal
-//! structure the Q bound captures — plus the per-phase working-set sizes
-//! that determine the conflict pressure.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin reuse_profile
-//!       [--records N]`
-
-use tempo::prelude::*;
-use tempo::trace::analysis::{reuse_distances, working_set_sizes};
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::reuse_profile`].
 
 fn main() {
-    let args = CommonArgs::parse(100_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-    let c = u64::from(cache.size());
-
-    println!(
-        "{:<12} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
-        "benchmark", "reuses", "<=1x", "<=2x", "<=4x", "medianWS", "maxWS"
-    );
-    for model in suite::standard_suite() {
-        let program = model.program();
-        let trace = model.training_trace(args.records);
-        let s = reuse_distances(program, &trace, &[c, 2 * c, 4 * c]);
-        let pct = |i: usize| 100.0 * s.at_or_below[i] as f64 / s.count.max(1) as f64;
-        let mut ws = working_set_sizes(program, &trace, 2_000);
-        ws.sort_unstable();
-        let median_ws = ws.get(ws.len() / 2).copied().unwrap_or(0);
-        let max_ws = ws.last().copied().unwrap_or(0);
-        println!(
-            "{:<12} {:>9} {:>7.1}% {:>7.1}% {:>7.1}% {:>9}K {:>9}K",
-            model.name(),
-            s.count,
-            pct(0),
-            pct(1),
-            pct(2),
-            median_ws / 1024,
-            max_ws / 1024
-        );
-    }
-    println!("\nIf the <=2x column is close to the <=4x column, the paper's Q bound of");
-    println!("twice the cache size captures almost every placement-relevant reuse.");
+    tempo_bench::harness::bin_main("reuse_profile");
 }

@@ -1,55 +1,6 @@
-//! **§5.1 / Blackwell**: perturbation-scale sweep.
-//!
-//! The paper (citing Blackwell's thesis) notes that perturbation scales as
-//! low as s = 0.01 already elicit most of the performance variation, while
-//! s as high as 2.0 "does not degrade the average performance very much".
-//! This binary sweeps s over {0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0} for GBSC
-//! on `go` and reports the spread of testing miss rates at each scale.
-//!
-//! Run: `cargo run --release -p tempo-bench --bin s_sweep
-//!       [--records N] [--runs N] [--seed N]`
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::{median, sorted, CommonArgs};
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::s_sweep`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 15);
-    let cache = CacheConfig::direct_mapped_8k();
-    let model = suite::go();
-    let program = model.program();
-    let train = model.training_trace(args.records);
-    let test = model.testing_trace(args.records);
-    let session = Session::new(program, cache).profile(&train);
-
-    println!(
-        "go, GBSC, {} perturbed placements per scale ({} records):",
-        args.runs, args.records
-    );
-    println!(
-        "{:>6} {:>8} {:>8} {:>8} {:>8}",
-        "s", "min", "median", "max", "range"
-    );
-    for s in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0] {
-        let mut rng = StdRng::seed_from_u64(args.seed);
-        let rates: Vec<f64> = (0..args.runs)
-            .map(|_| {
-                let perturbed = session.perturbed(s, &mut rng);
-                let layout = perturbed.place(&Gbsc::new());
-                perturbed.evaluate(&layout, &test).miss_rate() * 100.0
-            })
-            .collect();
-        let v = sorted(&rates);
-        println!(
-            "{s:>6.2} {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}pp",
-            v[0],
-            median(&rates),
-            v[v.len() - 1],
-            v[v.len() - 1] - v[0]
-        );
-    }
-    println!("\npaper: most of the variation appears by s = 0.01; s = 2.0 does not");
-    println!("degrade the average much (the placement relies on weight *order*).");
+    tempo_bench::harness::bin_main("s_sweep");
 }

@@ -1,64 +1,6 @@
-//! **§6**: placement for set-associative caches.
-//!
-//! On a 2-way 8 KB LRU cache, compares: the default layout, PH, the
-//! direct-mapped GBSC layout (trained as if the cache were direct-mapped),
-//! and GBSC-SA using the §6 pair database D(p, {r, s}).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin set_associative
-//!       [--records N]`
-
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::set_associative`].
 
 fn main() {
-    let args = CommonArgs::parse(120_000, 1);
-    let sa_cache = CacheConfig::two_way_8k();
-
-    for model in [suite::m88ksim(), suite::perl()] {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-
-        // Profile twice: once with the pair database for the SA cache,
-        // once as direct-mapped for the DM-trained GBSC reference.
-        let sa_session = Session::new(program, sa_cache)
-            .with_pair_db(true)
-            .profile(&train);
-        let dm_session = Session::new(program, CacheConfig::direct_mapped_8k()).profile(&train);
-
-        println!("=== {} on {} ===", model.name(), sa_cache);
-        println!(
-            "pair database: {} associations",
-            sa_session
-                .profile()
-                .pair_db
-                .as_ref()
-                .map_or(0, |db| db.len())
-        );
-        let mr = |layout: &Layout| simulate(program, layout, &test, sa_cache).miss_rate() * 100.0;
-        println!(
-            "{:<22} {:>8.2}%",
-            "default",
-            mr(&Layout::source_order(program))
-        );
-        println!(
-            "{:<22} {:>8.2}%",
-            "PH",
-            mr(&sa_session.place(&PettisHansen::new()))
-        );
-        println!(
-            "{:<22} {:>8.2}%",
-            "GBSC (DM-trained)",
-            mr(&dm_session.place(&Gbsc::new()))
-        );
-        println!(
-            "{:<22} {:>8.2}%",
-            "GBSC-SA (pair db)",
-            mr(&sa_session.place(&GbscSetAssoc::new()))
-        );
-        println!();
-    }
-    println!("paper: the DM assumption (one intervening block evicts) is conservative");
-    println!("for LRU associative caches; the pair database models the two-victim rule.");
+    tempo_bench::harness::bin_main("set_associative");
 }

@@ -1,65 +1,6 @@
-//! **§8 extension**: procedure splitting combined with GBSC.
-//!
-//! The paper's conclusion lists procedure splitting (Pettis–Hansen) as an
-//! orthogonal technique that "can therefore be combined with our technique
-//! to achieve further improvements". This binary derives hot/cold
-//! boundaries from the training trace, rewrites each benchmark, and
-//! compares GBSC on the original vs. the split program (both evaluated on
-//! the testing trace, the split one on the transformed testing trace —
-//! same instruction stream, different code addresses).
-//!
-//! Run: `cargo run --release -p tempo-bench --bin splitting [--records N]`
-
-use tempo::place::splitting::{SplitPlan, SplitProgram};
-use tempo::prelude::*;
-use tempo::workloads::suite;
-use tempo_bench::CommonArgs;
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::splitting`].
 
 fn main() {
-    let args = CommonArgs::parse(150_000, 1);
-    let cache = CacheConfig::direct_mapped_8k();
-
-    println!(
-        "{:<12} {:>7} {:>12} {:>11} {:>11} {:>9}",
-        "benchmark", "split#", "hot bytes", "GBSC", "GBSC+split", "delta"
-    );
-    for model in suite::standard_suite() {
-        let program = model.program();
-        let train = model.training_trace(args.records);
-        let test = model.testing_trace(args.records);
-
-        // Baseline: GBSC on the unsplit program.
-        let session = Session::new(program, cache).profile(&train);
-        let base = session
-            .evaluate(&session.place(&Gbsc::new()), &test)
-            .miss_rate()
-            * 100.0;
-
-        // Split: boundaries at the 90th percentile of observed extents.
-        let plan = SplitPlan::from_trace(program, &train, 0.90, 32);
-        let sp = SplitProgram::split(program, &plan).expect("split is valid");
-        let strain = sp.transform_trace(&train);
-        let stest = sp.transform_trace(&test);
-        let ssession = Session::new(sp.program(), cache).profile(&strain);
-        let split = ssession
-            .evaluate(&ssession.place(&Gbsc::new()), &stest)
-            .miss_rate()
-            * 100.0;
-
-        let hot_bytes: u64 = program
-            .ids()
-            .map(|id| u64::from(sp.program().size_of(sp.hot_part(id))))
-            .sum();
-        println!(
-            "{:<12} {:>7} {:>11}K {:>10.2}% {:>10.2}% {:>+8.2}pp",
-            model.name(),
-            sp.split_count(),
-            hot_bytes / 1024,
-            base,
-            split,
-            split - base
-        );
-    }
-    println!("\npaper: splitting is orthogonal and should compound with GBSC");
-    println!("(negative delta = splitting helped).");
+    tempo_bench::harness::bin_main("splitting");
 }

@@ -1,0 +1,76 @@
+//! **Ablation (§4)**: "extra temporal ordering information alone is not
+//! sufficient to guarantee lower instruction cache miss rates."
+//!
+//! Cross of the paper's two ingredients:
+//!
+//! | | chains (PH placement) | offset scan (GBSC placement) |
+//! |---|---|---|
+//! | **WCG selection** | PH | WCG+offsets |
+//! | **TRG selection** | TRG+chains | GBSC |
+//!
+//! One pool job per benchmark; each evaluates the default layout plus the
+//! four ablation corners on its own profile.
+
+use tempo::place::{TrgChains, WcgOffsets};
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+use crate::harness::{outln, Ctx};
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let cache = CacheConfig::direct_mapped_8k();
+    let records = ctx.args.records;
+    let models = suite::standard_suite();
+
+    outln!(
+        ctx,
+        "{:<12} {:>9} {:>9} {:>11} {:>12} {:>9}",
+        "benchmark",
+        "default",
+        "PH",
+        "TRG+chains",
+        "WCG+offsets",
+        "GBSC"
+    );
+    let jobs: Vec<_> = models
+        .iter()
+        .map(|model| {
+            move || {
+                let program = model.program();
+                let train = model.training_trace(records);
+                let test = model.testing_trace(records);
+                let session = Session::new(program, cache).profile(&train);
+                let mut misses = 0u64;
+                let mut mr = |alg: &dyn PlacementAlgorithm| {
+                    let stats = session.evaluate(&session.place(alg), &test);
+                    misses += stats.misses;
+                    stats.miss_rate() * 100.0
+                };
+                let default_stats = session.evaluate(&Layout::source_order(program), &test);
+                let line = format!(
+                    "{:<12} {:>8.2}% {:>8.2}% {:>10.2}% {:>11.2}% {:>8.2}%",
+                    model.name(),
+                    default_stats.miss_rate() * 100.0,
+                    mr(&PettisHansen::new()),
+                    mr(&TrgChains::new()),
+                    mr(&WcgOffsets::new()),
+                    mr(&Gbsc::new()),
+                );
+                misses += default_stats.misses;
+                (line, misses)
+            }
+        })
+        .collect();
+    for (line, misses) in ctx.run_jobs(jobs) {
+        ctx.tally_misses(misses);
+        outln!(ctx, "{line}");
+    }
+    outln!(
+        ctx,
+        "\npaper's claim: the TRG alone (TRG+chains) does not guarantee wins;"
+    );
+    outln!(
+        ctx,
+        "only TRG selection *plus* the cache-aware offset scan (GBSC) does."
+    );
+}

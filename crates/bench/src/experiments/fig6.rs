@@ -1,0 +1,104 @@
+//! **Figure 6**: conflict-metric ↔ miss-rate correlation.
+//!
+//! Generates 80 layouts of the `go` benchmark by randomly re-aligning 0–50
+//! procedures of the GBSC placement (exactly the paper's procedure), then
+//! plots — as CSV/summary — each layout's simulated miss rate against:
+//!
+//! * the TRG_place-based conflict metric (top of the paper's figure:
+//!   expected to be nearly linear), and
+//! * the WCG-based metric (bottom: expected to correlate poorly).
+//!
+//! Parallel structure: the perturbation phase stays serial (one RNG
+//! stream feeds all 80 mutations, exactly like the historical loop), then
+//! the expensive part — simulation plus both conflict metrics per layout —
+//! fans out across the pool.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo::place::metric::{trg_conflict_cost, wcg_conflict_cost};
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+use crate::harness::{outln, Ctx};
+use crate::pearson;
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let cache = CacheConfig::direct_mapped_8k();
+    let records = ctx.args.records;
+    let runs = ctx.args.runs;
+    let model = suite::go();
+    let program = model.program();
+    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool());
+    let session = Session::new(program, cache).profile(&train);
+    let base = Gbsc::new().place_tuples(&session.context());
+
+    // Serial phase: one RNG stream mutates all `runs` tuple sets.
+    let mut rng = StdRng::seed_from_u64(ctx.args.seed);
+    let mutated: Vec<_> = (0..runs)
+        .map(|_| {
+            let mut tuples = base.clone();
+            // "randomly selecting 0-50 procedures ... and randomly changing
+            // their cache-relative offsets" (§5.3).
+            let k = rng.gen_range(0..=50usize);
+            tuples.randomize_offsets(k, &mut rng);
+            (k, tuples)
+        })
+        .collect();
+
+    // Parallel phase: evaluate every mutated layout independently.
+    let session_ref = &session;
+    let test_ref = &test;
+    let jobs: Vec<_> = mutated
+        .into_iter()
+        .map(|(k, tuples)| {
+            move || {
+                let layout = tuples.into_layout(&session_ref.context());
+                let stats = session_ref.evaluate(&layout, test_ref);
+                let mr = stats.miss_rate() * 100.0;
+                let trg_cost =
+                    trg_conflict_cost(program, &layout, &session_ref.profile().trg_place, cache);
+                let wcg_cost =
+                    wcg_conflict_cost(program, &layout, &session_ref.profile().wcg, cache);
+                (k, mr, trg_cost, wcg_cost, stats.misses)
+            }
+        })
+        .collect();
+
+    let mut trg_points = Vec::with_capacity(runs);
+    let mut wcg_points = Vec::with_capacity(runs);
+    let mut csv = Vec::with_capacity(runs);
+    for (run, (k, mr, trg_cost, wcg_cost, misses)) in ctx.run_jobs(jobs).into_iter().enumerate() {
+        ctx.tally_misses(misses);
+        trg_points.push((mr, trg_cost));
+        wcg_points.push((mr, wcg_cost));
+        csv.push(format!("{run},{k},{mr:.4},{trg_cost:.1},{wcg_cost:.1}"));
+    }
+
+    let r_trg = pearson(&trg_points);
+    let r_wcg = pearson(&wcg_points);
+    outln!(ctx, "{} layouts of go ({} records):", runs, records);
+    outln!(
+        ctx,
+        "  TRG metric vs miss rate: pearson r = {r_trg:.3}   (paper: near-linear)"
+    );
+    outln!(
+        ctx,
+        "  WCG metric vs miss rate: pearson r = {r_wcg:.3}   (paper: poor predictor)"
+    );
+    let spread = |pts: &[(f64, f64)]| {
+        let mrs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let lo = mrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = mrs.iter().cloned().fold(0.0, f64::max);
+        (lo, hi)
+    };
+    let (lo, hi) = spread(&trg_points);
+    outln!(
+        ctx,
+        "  miss-rate range across layouts: {lo:.2}% .. {hi:.2}%"
+    );
+
+    if let Some(path) = ctx.csv_path() {
+        ctx.set_csv("run,k_mutated,miss_rate_pct,trg_cost,wcg_cost", csv);
+        outln!(ctx, "wrote {path}");
+    }
+}

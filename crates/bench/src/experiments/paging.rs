@@ -1,0 +1,97 @@
+//! **§8 outlook**: layout effects on the next layer of the memory
+//! hierarchy.
+//!
+//! The paper's §4.3 notes the linearization could be adapted to reduce
+//! paging problems, and §8 plans to extend the temporal techniques to
+//! "other layers of the memory hierarchy". This experiment measures what
+//! the cache-driven layouts do to *page-level* locality: each layout is
+//! run against a small fully-associative LRU page buffer (4 KB pages — an
+//! ITLB/page-cache stand-in, modeled with the same simulator, since a
+//! fully-associative LRU cache with page-sized lines *is* a page buffer).
+//!
+//! Parallel structure: stage A profiles and places each benchmark; stage B
+//! runs the 6 (benchmark, layout) page+cache simulations concurrently.
+
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+use crate::harness::{outln, Ctx};
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let icache = CacheConfig::direct_mapped_8k();
+    // 32-entry fully-associative LRU buffer of 4 KB pages.
+    let pages = CacheConfig::new(32 * 4096, 4096, 32).expect("valid page buffer");
+    let records = ctx.args.records;
+    let models = [suite::gcc(), suite::vortex()];
+
+    let prep_jobs: Vec<_> = models
+        .iter()
+        .map(|model| {
+            move || {
+                let program = model.program();
+                let train = model.training_trace(records);
+                let test = model.testing_trace(records);
+                let session = Session::new(program, icache).profile(&train);
+                let layouts: Vec<(&str, Layout)> = vec![
+                    ("default", Layout::source_order(program)),
+                    ("PH", session.place(&PettisHansen::new())),
+                    ("GBSC", session.place(&Gbsc::new())),
+                ];
+                (test, layouts)
+            }
+        })
+        .collect();
+    let prepared = ctx.run_jobs(prep_jobs);
+
+    let cell_jobs: Vec<_> = models
+        .iter()
+        .zip(&prepared)
+        .flat_map(|(model, (test, layouts))| {
+            let program = model.program();
+            layouts.iter().map(move |(name, layout)| {
+                move || {
+                    let pstats = simulate(program, layout, test, pages);
+                    let istats = simulate(program, layout, test, icache);
+                    let line = format!(
+                        "{:<8} {:>9}K {:>12} {:>9.3}% {:>8.2}%",
+                        name,
+                        layout.span(program) / 1024,
+                        pstats.misses,
+                        pstats.line_miss_rate() * 100.0,
+                        istats.miss_rate() * 100.0
+                    );
+                    (line, pstats.misses + istats.misses)
+                }
+            })
+        })
+        .collect();
+    let cells = ctx.run_jobs(cell_jobs);
+
+    for (mi, model) in models.iter().enumerate() {
+        outln!(ctx, "=== {} (32 x 4 KB LRU page buffer) ===", model.name());
+        outln!(
+            ctx,
+            "{:<8} {:>10} {:>12} {:>10} {:>9}",
+            "layout",
+            "span",
+            "page faults",
+            "fault MR",
+            "I$ MR"
+        );
+        for li in 0..3 {
+            let (line, misses) = &cells[mi * 3 + li];
+            ctx.tally_misses(*misses);
+            outln!(ctx, "{line}");
+        }
+        outln!(ctx);
+    }
+    outln!(
+        ctx,
+        "The smallest-gap linearization keeps popular procedures dense, so the"
+    );
+    outln!(
+        ctx,
+        "cache-optimized layouts also page as well as (or better than) default —"
+    );
+    outln!(ctx, "the gaps are filled with unpopular code, not holes.");
+}

@@ -1,0 +1,71 @@
+//! **Diagnostic (§3)**: reuse-distance support for the Q-set bound.
+//!
+//! The paper keeps a block in `Q` until twice the cache size of unique
+//! code has passed since its last reference, arguing that reuses beyond
+//! that are capacity-doomed anyway. This experiment computes each
+//! benchmark's byte reuse-distance distribution and reports what fraction
+//! of reuses fall within one and two cache sizes — i.e. how much of the
+//! temporal structure the Q bound captures — plus the per-phase
+//! working-set sizes that determine the conflict pressure. One pool job
+//! per benchmark.
+
+use tempo::prelude::*;
+use tempo::trace::analysis::{reuse_distances, working_set_sizes};
+use tempo::workloads::suite;
+
+use crate::harness::{outln, Ctx};
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let cache = CacheConfig::direct_mapped_8k();
+    let c = u64::from(cache.size());
+    let records = ctx.args.records;
+    let models = suite::standard_suite();
+
+    outln!(
+        ctx,
+        "{:<12} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "benchmark",
+        "reuses",
+        "<=1x",
+        "<=2x",
+        "<=4x",
+        "medianWS",
+        "maxWS"
+    );
+    let jobs: Vec<_> = models
+        .iter()
+        .map(|model| {
+            move || {
+                let program = model.program();
+                let trace = model.training_trace(records);
+                let s = reuse_distances(program, &trace, &[c, 2 * c, 4 * c]);
+                let pct = |i: usize| 100.0 * s.at_or_below[i] as f64 / s.count.max(1) as f64;
+                let mut ws = working_set_sizes(program, &trace, 2_000);
+                ws.sort_unstable();
+                let median_ws = ws.get(ws.len() / 2).copied().unwrap_or(0);
+                let max_ws = ws.last().copied().unwrap_or(0);
+                format!(
+                    "{:<12} {:>9} {:>7.1}% {:>7.1}% {:>7.1}% {:>9}K {:>9}K",
+                    model.name(),
+                    s.count,
+                    pct(0),
+                    pct(1),
+                    pct(2),
+                    median_ws / 1024,
+                    max_ws / 1024
+                )
+            }
+        })
+        .collect();
+    for line in ctx.run_jobs(jobs) {
+        outln!(ctx, "{line}");
+    }
+    outln!(
+        ctx,
+        "\nIf the <=2x column is close to the <=4x column, the paper's Q bound of"
+    );
+    outln!(
+        ctx,
+        "twice the cache size captures almost every placement-relevant reuse."
+    );
+}

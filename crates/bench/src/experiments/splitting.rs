@@ -1,0 +1,81 @@
+//! **§8 extension**: procedure splitting combined with GBSC.
+//!
+//! The paper's conclusion lists procedure splitting (Pettis–Hansen) as an
+//! orthogonal technique that "can therefore be combined with our technique
+//! to achieve further improvements". This experiment derives hot/cold
+//! boundaries from the training trace, rewrites each benchmark, and
+//! compares GBSC on the original vs. the split program (both evaluated on
+//! the testing trace, the split one on the transformed testing trace —
+//! same instruction stream, different code addresses). One pool job per
+//! benchmark.
+
+use tempo::place::splitting::{SplitPlan, SplitProgram};
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+use crate::harness::{outln, Ctx};
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let cache = CacheConfig::direct_mapped_8k();
+    let records = ctx.args.records;
+    let models = suite::standard_suite();
+
+    outln!(
+        ctx,
+        "{:<12} {:>7} {:>12} {:>11} {:>11} {:>9}",
+        "benchmark",
+        "split#",
+        "hot bytes",
+        "GBSC",
+        "GBSC+split",
+        "delta"
+    );
+    let jobs: Vec<_> = models
+        .iter()
+        .map(|model| {
+            move || {
+                let program = model.program();
+                let train = model.training_trace(records);
+                let test = model.testing_trace(records);
+
+                // Baseline: GBSC on the unsplit program.
+                let session = Session::new(program, cache).profile(&train);
+                let base_stats = session.evaluate(&session.place(&Gbsc::new()), &test);
+                let base = base_stats.miss_rate() * 100.0;
+
+                // Split: boundaries at the 90th percentile of observed extents.
+                let plan = SplitPlan::from_trace(program, &train, 0.90, 32);
+                let sp = SplitProgram::split(program, &plan).expect("split is valid");
+                let strain = sp.transform_trace(&train);
+                let stest = sp.transform_trace(&test);
+                let ssession = Session::new(sp.program(), cache).profile(&strain);
+                let split_stats = ssession.evaluate(&ssession.place(&Gbsc::new()), &stest);
+                let split = split_stats.miss_rate() * 100.0;
+
+                let hot_bytes: u64 = program
+                    .ids()
+                    .map(|id| u64::from(sp.program().size_of(sp.hot_part(id))))
+                    .sum();
+                let line = format!(
+                    "{:<12} {:>7} {:>11}K {:>10.2}% {:>10.2}% {:>+8.2}pp",
+                    model.name(),
+                    sp.split_count(),
+                    hot_bytes / 1024,
+                    base,
+                    split,
+                    split - base
+                );
+                (line, base_stats.misses + split_stats.misses)
+            }
+        })
+        .collect();
+    for (line, misses) in ctx.run_jobs(jobs) {
+        ctx.tally_misses(misses);
+        outln!(ctx, "{line}");
+    }
+    outln!(
+        ctx,
+        "\npaper: splitting is orthogonal and should compound with GBSC"
+    );
+    outln!(ctx, "(negative delta = splitting helped).");
+}

@@ -1,0 +1,72 @@
+//! **Table 1**: benchmark details.
+//!
+//! For each benchmark: total size/count, popular size/count, training and
+//! testing trace lengths, the miss rate of the default layout (8 KB
+//! direct-mapped, 32-byte lines), and the average Q size observed while
+//! building the TRG. One pool job per benchmark.
+
+use tempo::prelude::*;
+use tempo::workloads::suite;
+
+use crate::harness::{outln, Ctx};
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let cache = CacheConfig::direct_mapped_8k();
+    let records = ctx.args.records;
+    let models = suite::standard_suite();
+
+    outln!(
+        ctx,
+        "{:<12} {:>8} {:>6} | {:>8} {:>6} | {:>9} {:>9} | {:>8} {:>7}",
+        "program",
+        "size",
+        "count",
+        "popsize",
+        "popcnt",
+        "train",
+        "test",
+        "defMR",
+        "avgQ"
+    );
+    let jobs: Vec<_> = models
+        .iter()
+        .map(|model| {
+            move || {
+                let program = model.program();
+                let train = model.training_trace(records);
+                let test = model.testing_trace(records);
+
+                let profile = Profiler::new(program, cache).profile(&train);
+                let popular = &profile.popular;
+                let default_layout = Layout::source_order(program);
+                let stats = simulate(program, &default_layout, &test, cache);
+
+                let line = format!(
+                    "{:<12} {:>7}K {:>6} | {:>7}K {:>6} | {:>9} {:>9} | {:>7.2}% {:>7.1}",
+                    model.name(),
+                    program.total_size() / 1024,
+                    program.len(),
+                    popular.popular_size(program) / 1024,
+                    popular.count(),
+                    train.len(),
+                    test.len(),
+                    stats.miss_rate() * 100.0,
+                    profile.q_stats.average,
+                );
+                (line, stats)
+            }
+        })
+        .collect();
+    for (line, stats) in ctx.run_jobs(jobs) {
+        ctx.tally(stats);
+        outln!(ctx, "{line}");
+    }
+    outln!(
+        ctx,
+        "\npaper (Table 1):  gcc 2277K/2005 351K/136 4.86% 11.8 | go 590K/3221 134K/112 3.34% 16.0"
+    );
+    outln!(
+        ctx,
+        "  gs 1817K/372 104K/216 2.63% 18.7 | m88k 549K/460 21K/31 2.92% 8.5 | perl 664K/271 83K/36 4.19% 7.1 | vortex 1073K/923 117K/156 6.29% 26.4"
+    );
+}

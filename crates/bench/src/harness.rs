@@ -1,0 +1,777 @@
+//! The shared experiment harness: one registry, one execution context,
+//! one driver.
+//!
+//! Every experiment (one per paper table/figure/ablation — see DESIGN.md
+//! §4) is a plain function `fn(&mut Ctx)` registered in [`REGISTRY`]. The
+//! context collects the experiment's console report, optional CSV rows,
+//! and evaluation counters instead of letting the experiment touch stdout
+//! or the filesystem; that indirection is what makes the same experiment
+//! runnable three ways with byte-identical output:
+//!
+//! * as its historical standalone binary ([`bin_main`]),
+//! * through `tempo-bench run-all` / `tempo-cli bench` ([`run_all`]),
+//! * from tests against temp dirs (determinism suite).
+//!
+//! Parallelism flows through [`Ctx::run_jobs`]: an experiment expands its
+//! benchmark × algorithm × config matrix into jobs and the context runs
+//! them on a [`tempo_par::Pool`] sized by `--jobs`. Because the pool
+//! returns results in submission order and every job owns its RNG stream,
+//! reports are byte-identical for every worker count (the determinism
+//! contract, DESIGN.md §9).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tempo::prelude::SimStats;
+use tempo_par::Pool;
+
+use crate::json::Json;
+use crate::CommonArgs;
+
+/// Appends a line to an experiment's report: `outln!(ctx, "fmt", ...)`.
+macro_rules! outln {
+    ($ctx:expr $(,)?) => { $crate::harness::Ctx::line($ctx, format_args!("")) };
+    ($ctx:expr, $($arg:tt)*) => { $crate::harness::Ctx::line($ctx, format_args!($($arg)*)) };
+}
+pub(crate) use outln;
+
+/// Execution context handed to every experiment.
+///
+/// Collects the textual report ([`Ctx::line`] / the `outln!` macro),
+/// optional CSV output ([`Ctx::set_csv`]), and the evaluation counters
+/// that feed `BENCH_run.json` ([`Ctx::tally`]).
+#[derive(Debug)]
+pub struct Ctx {
+    /// Parsed common arguments (records, runs, seed, jobs, ...).
+    pub args: CommonArgs,
+    pool: Pool,
+    csv_path: Option<String>,
+    text: String,
+    csv: Option<Csv>,
+    misses: u64,
+    cells: usize,
+}
+
+/// CSV payload produced by an experiment (header + data rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csv {
+    /// Header line (no trailing newline).
+    pub header: &'static str,
+    /// Data rows (no trailing newlines).
+    pub rows: Vec<String>,
+}
+
+/// Everything an experiment produced, ready to print or persist.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// The console report (what the standalone binary prints).
+    pub text: String,
+    /// CSV payload, when the experiment emits one.
+    pub csv: Option<Csv>,
+    /// Total simulated cache misses tallied across all evaluations.
+    pub misses: u64,
+    /// Jobs executed through the pool.
+    pub cells: usize,
+}
+
+impl Ctx {
+    /// A context for `args`, reporting CSV output (if any) at `csv_path`.
+    pub fn new(args: CommonArgs, csv_path: Option<String>) -> Ctx {
+        let pool = Pool::new(args.jobs);
+        Ctx {
+            args,
+            pool,
+            csv_path,
+            text: String::new(),
+            csv: None,
+            misses: 0,
+            cells: 0,
+        }
+    }
+
+    /// Appends one line to the report (use via `outln!`).
+    pub fn line(&mut self, args: fmt::Arguments<'_>) {
+        use fmt::Write as _;
+        writeln!(self.text, "{args}").expect("writing to a String cannot fail");
+    }
+
+    /// The worker pool sized by `--jobs`.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Runs `jobs` on the pool, in submission order, counting them toward
+    /// the context's cell total.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic on the calling thread (the driver
+    /// catches it per experiment, so one broken experiment cannot kill a
+    /// `run-all` sweep).
+    pub fn run_jobs<T, F>(&mut self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.cells += jobs.len();
+        self.pool
+            .run(jobs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("{p}"),
+            })
+            .collect()
+    }
+
+    /// Records an evaluation's miss count and passes the stats through.
+    pub fn tally(&mut self, stats: SimStats) -> SimStats {
+        self.misses += stats.misses;
+        stats
+    }
+
+    /// Records misses counted inside a parallel job (jobs cannot borrow
+    /// the context, so they sum locally and report on aggregation).
+    pub fn tally_misses(&mut self, misses: u64) {
+        self.misses += misses;
+    }
+
+    /// Counts jobs executed outside [`Ctx::run_jobs`] (e.g. through the
+    /// tempo-cache sweep helpers or the `SweepRunner`) toward the cell
+    /// total.
+    pub fn note_cells(&mut self, cells: usize) {
+        self.cells += cells;
+    }
+
+    /// Sets the experiment's CSV output.
+    pub fn set_csv(&mut self, header: &'static str, rows: Vec<String>) {
+        self.csv = Some(Csv { header, rows });
+    }
+
+    /// Where the CSV will be written, when CSV output was requested —
+    /// experiments echo this in their report ("wrote <path>") exactly
+    /// where the historical binaries did.
+    pub fn csv_path(&self) -> Option<String> {
+        self.csv_path.clone()
+    }
+
+    /// Consumes the context into its collected output.
+    pub fn finish(self) -> ExperimentOutput {
+        ExperimentOutput {
+            text: self.text,
+            csv: self.csv,
+            misses: self.misses,
+            cells: self.cells,
+        }
+    }
+}
+
+/// One registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Binary/file name (`results/<name>.txt`).
+    pub name: &'static str,
+    /// One-line description for `tempo-bench list`.
+    pub title: &'static str,
+    /// Default `--records` (mirrors the historical binary's default).
+    pub default_records: usize,
+    /// Default `--runs`.
+    pub default_runs: usize,
+    /// Whether the experiment emits CSV (written to `<out>/<name>.csv`
+    /// by the driver, or to `--out` by the standalone binary).
+    pub has_csv: bool,
+    /// The experiment body.
+    pub run: fn(&mut Ctx),
+}
+
+/// Every experiment, in the order `run-all` executes them (the historical
+/// `scripts/run_all_experiments.sh` order).
+pub const REGISTRY: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "table1",
+        title: "Table 1 benchmark statics, default miss rates, average Q sizes",
+        default_records: crate::DEFAULT_TRAIN_LEN,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::table1::run,
+    },
+    ExperimentSpec {
+        name: "fig1_motivation",
+        title: "Figure 1 motivating example (same WCG, opposite best layouts)",
+        default_records: 0,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::fig1_motivation::run,
+    },
+    ExperimentSpec {
+        name: "fig2_trg_walkthrough",
+        title: "Figures 2-3 Q-set / TRG construction walkthrough",
+        default_records: 0,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::fig2_trg_walkthrough::run,
+    },
+    ExperimentSpec {
+        name: "fig5",
+        title: "Figure 5 perturbed miss-rate distributions (CDF points)",
+        default_records: 200_000,
+        default_runs: 40,
+        has_csv: true,
+        run: crate::experiments::fig5::run,
+    },
+    ExperimentSpec {
+        name: "fig6",
+        title: "Figure 6 conflict-metric vs miss-rate correlation",
+        default_records: 200_000,
+        default_runs: 80,
+        has_csv: true,
+        run: crate::experiments::fig6::run,
+    },
+    ExperimentSpec {
+        name: "padding_sensitivity",
+        title: "S5.1 padding anecdote (layout fragility)",
+        default_records: 200_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::padding_sensitivity::run,
+    },
+    ExperimentSpec {
+        name: "cache_sweep",
+        title: "S5.2 cache-size sweep (SweepRunner matrix)",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: true,
+        run: crate::experiments::cache_sweep::run,
+    },
+    ExperimentSpec {
+        name: "m88ksim_same_input",
+        title: "S5.3 m88ksim train=test note",
+        default_records: 200_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::m88ksim_same_input::run,
+    },
+    ExperimentSpec {
+        name: "set_associative",
+        title: "S6 set-associative placement (pair database)",
+        default_records: 120_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::set_associative::run,
+    },
+    ExperimentSpec {
+        name: "s_sweep",
+        title: "Blackwell perturbation-scale sweep",
+        default_records: 150_000,
+        default_runs: 15,
+        has_csv: false,
+        run: crate::experiments::s_sweep::run,
+    },
+    ExperimentSpec {
+        name: "ablation_chains",
+        title: "S4 ingredient ablation (TRG+chains / WCG+offsets)",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::ablation_chains::run,
+    },
+    ExperimentSpec {
+        name: "chunk_sweep",
+        title: "S4.1 chunk-size sweep",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::chunk_sweep::run,
+    },
+    ExperimentSpec {
+        name: "q_bound_sweep",
+        title: "S3 Q-bound sweep",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::q_bound_sweep::run,
+    },
+    ExperimentSpec {
+        name: "miss_breakdown",
+        title: "3C miss decomposition per layout",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::miss_breakdown::run,
+    },
+    ExperimentSpec {
+        name: "reuse_profile",
+        title: "Reuse distances vs the Q bound",
+        default_records: 100_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::reuse_profile::run,
+    },
+    ExperimentSpec {
+        name: "splitting",
+        title: "S8 procedure splitting + GBSC",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::splitting::run,
+    },
+    ExperimentSpec {
+        name: "paging",
+        title: "S8 page-level locality of cache-driven layouts",
+        default_records: 150_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::paging::run,
+    },
+];
+
+/// Looks up an experiment by name.
+pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Entry point for the historical one-experiment binaries: parse common
+/// flags with the experiment's defaults, run, print the report, write the
+/// CSV if `--out` was given.
+///
+/// # Panics
+///
+/// Panics (nonzero exit) when the experiment name is not registered, the
+/// experiment fails, or the CSV cannot be written — the standalone
+/// binaries keep their historical crash-on-error contract.
+pub fn bin_main(name: &str) {
+    let spec = find(name).unwrap_or_else(|| panic!("experiment `{name}` is not registered"));
+    let args = CommonArgs::parse(spec.default_records, spec.default_runs);
+    let csv_path = args.out.clone();
+    let mut ctx = Ctx::new(args, csv_path.clone());
+    (spec.run)(&mut ctx);
+    let out = ctx.finish();
+    print!("{}", out.text);
+    if let (Some(path), Some(csv)) = (&csv_path, &out.csv) {
+        crate::write_csv(path, csv.header, &csv.rows).expect("write csv");
+    }
+}
+
+/// Options for [`run_all`].
+#[derive(Debug, Clone)]
+pub struct RunAllOpts {
+    /// Override every experiment's `--records` (like the historical
+    /// script's first positional); `None` keeps per-experiment defaults.
+    pub records: Option<usize>,
+    /// Override every experiment's `--runs`; `None` keeps defaults
+    /// (fig5 40, fig6 80, s_sweep 15).
+    pub runs: Option<usize>,
+    /// Worker count for every experiment's pool.
+    pub jobs: usize,
+    /// RNG seed (default `0xBA5E`, the historical seed).
+    pub seed: u64,
+    /// Directory for `results/`-style text and CSV outputs.
+    pub out_dir: PathBuf,
+    /// Where to write the machine-readable run record; `None` skips it.
+    pub bench_json: Option<PathBuf>,
+    /// Restrict to these experiment names (run-all order preserved).
+    pub only: Option<Vec<String>>,
+    /// Echo per-experiment progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunAllOpts {
+    fn default() -> Self {
+        RunAllOpts {
+            records: None,
+            runs: None,
+            jobs: tempo_par::available_parallelism(),
+            seed: 0xBA5E,
+            out_dir: PathBuf::from("results"),
+            bench_json: Some(PathBuf::from("BENCH_run.json")),
+            only: None,
+            verbose: false,
+        }
+    }
+}
+
+/// One experiment's entry in the run record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment name.
+    pub name: String,
+    /// Whether the experiment completed (false = it panicked).
+    pub ok: bool,
+    /// Wall-clock time of the experiment body.
+    pub wall_ms: f64,
+    /// Jobs executed through the pool.
+    pub cells: usize,
+    /// Report lines plus CSV rows produced.
+    pub rows: usize,
+    /// Total simulated cache misses tallied.
+    pub misses: u64,
+    /// Panic message when `ok` is false.
+    pub error: Option<String>,
+}
+
+/// The aggregate result of a `run-all` sweep (serialized as
+/// `BENCH_run.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunAllReport {
+    /// `records` override (None = per-experiment defaults).
+    pub records: Option<usize>,
+    /// `runs` override.
+    pub runs: Option<usize>,
+    /// Worker count used.
+    pub jobs: usize,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Wall-clock time of the whole sweep.
+    pub total_wall_ms: f64,
+    /// Per-experiment records, in execution order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+impl RunAllReport {
+    /// True when every experiment completed.
+    pub fn all_ok(&self) -> bool {
+        self.experiments.iter().all(|e| e.ok)
+    }
+}
+
+/// Errors from the `run-all` driver (filesystem/serialization only;
+/// experiment panics are recorded per experiment instead).
+#[derive(Debug)]
+pub enum HarnessError {
+    /// An unknown experiment name in `--only`.
+    UnknownExperiment(String),
+    /// Filesystem failure writing an output.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::UnknownExperiment(name) => {
+                write!(f, "unknown experiment `{name}` (see `tempo-bench list`)")
+            }
+            HarnessError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Io(e) => Some(e),
+            HarnessError::UnknownExperiment(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HarnessError {
+    fn from(e: std::io::Error) -> Self {
+        HarnessError::Io(e)
+    }
+}
+
+/// Runs every (selected) experiment through the shared harness, writing
+/// `<out_dir>/<name>.txt` (+ `.csv`) for each and the machine-readable
+/// run record to `opts.bench_json`.
+///
+/// Experiments run one at a time; each parallelizes internally across
+/// `opts.jobs` workers. A panicking experiment is isolated: its outputs
+/// are skipped, the failure lands in the report, and the sweep continues.
+///
+/// # Errors
+///
+/// Fails on unknown `--only` names and on filesystem errors; experiment
+/// panics do *not* error (check [`RunAllReport::all_ok`]).
+pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
+    let selected: Vec<&'static ExperimentSpec> = match &opts.only {
+        None => REGISTRY.iter().collect(),
+        Some(names) => {
+            for n in names {
+                if find(n).is_none() {
+                    return Err(HarnessError::UnknownExperiment(n.clone()));
+                }
+            }
+            REGISTRY
+                .iter()
+                .filter(|s| names.iter().any(|n| n == s.name))
+                .collect()
+        }
+    };
+
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let sweep_start = Instant::now();
+    let mut experiments = Vec::with_capacity(selected.len());
+
+    for spec in selected {
+        let args = CommonArgs {
+            records: opts.records.unwrap_or(spec.default_records),
+            seed: opts.seed,
+            runs: opts.runs.unwrap_or(spec.default_runs),
+            out: None,
+            budget_ms: None,
+            jobs: opts.jobs,
+        };
+        let csv_path = spec
+            .has_csv
+            .then(|| display_path(&opts.out_dir.join(format!("{}.csv", spec.name))));
+        let mut ctx = Ctx::new(args, csv_path.clone());
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (spec.run)(&mut ctx);
+        }));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let record = match outcome {
+            Ok(()) => {
+                let out = ctx.finish();
+                std::fs::write(
+                    opts.out_dir.join(format!("{}.txt", spec.name)),
+                    out.text.as_bytes(),
+                )?;
+                if let (Some(path), Some(csv)) = (&csv_path, &out.csv) {
+                    crate::write_csv(path, csv.header, &csv.rows)?;
+                }
+                ExperimentRecord {
+                    name: spec.name.to_string(),
+                    ok: true,
+                    wall_ms,
+                    cells: out.cells,
+                    rows: out.text.lines().count() + out.csv.as_ref().map_or(0, |c| c.rows.len()),
+                    misses: out.misses,
+                    error: None,
+                }
+            }
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                ExperimentRecord {
+                    name: spec.name.to_string(),
+                    ok: false,
+                    wall_ms,
+                    cells: 0,
+                    rows: 0,
+                    misses: 0,
+                    error: Some(message),
+                }
+            }
+        };
+        if opts.verbose {
+            eprintln!(
+                "tempo-bench: {:<22} {:>9.1} ms  {:>4} jobs  {:>6} rows  {:>12} misses{}",
+                record.name,
+                record.wall_ms,
+                record.cells,
+                record.rows,
+                record.misses,
+                if record.ok { "" } else { "  FAILED" }
+            );
+        }
+        experiments.push(record);
+    }
+
+    let report = RunAllReport {
+        records: opts.records,
+        runs: opts.runs,
+        jobs: opts.jobs,
+        seed: opts.seed,
+        total_wall_ms: sweep_start.elapsed().as_secs_f64() * 1e3,
+        experiments,
+    };
+    if let Some(path) = &opts.bench_json {
+        std::fs::write(path, report.to_json().render_pretty())?;
+    }
+    Ok(report)
+}
+
+fn display_path(p: &Path) -> String {
+    p.to_string_lossy().into_owned()
+}
+
+impl RunAllReport {
+    /// The machine-readable form written to `BENCH_run.json`.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema".into(), Json::Number(1.0)),
+            ("records".into(), opt_num(self.records)),
+            ("runs".into(), opt_num(self.runs)),
+            ("jobs".into(), Json::Number(self.jobs as f64)),
+            ("seed".into(), Json::Number(self.seed as f64)),
+            (
+                "total_wall_ms".into(),
+                Json::Number(round1(self.total_wall_ms)),
+            ),
+            (
+                "experiments".into(),
+                Json::Array(
+                    self.experiments
+                        .iter()
+                        .map(|e| {
+                            let mut fields = vec![
+                                ("name".into(), Json::String(e.name.clone())),
+                                ("ok".into(), Json::Bool(e.ok)),
+                                ("wall_ms".into(), Json::Number(round1(e.wall_ms))),
+                                ("cells".into(), Json::Number(e.cells as f64)),
+                                ("rows".into(), Json::Number(e.rows as f64)),
+                                ("misses".into(), Json::Number(e.misses as f64)),
+                            ];
+                            if let Some(err) = &e.error {
+                                fields.push(("error".into(), Json::String(err.clone())));
+                            }
+                            Json::object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report back from `BENCH_run.json` content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON is malformed or fields are missing.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // The numbers round-trip small integral counters (bounded far below 2^53).
+    pub fn from_json(text: &str) -> Result<RunAllReport, String> {
+        let v = Json::parse(text)?;
+        let experiments = v
+            .get("experiments")
+            .and_then(Json::as_array)
+            .ok_or("missing `experiments` array")?
+            .iter()
+            .map(|e| {
+                Ok(ExperimentRecord {
+                    name: e
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("experiment missing `name`")?
+                        .to_string(),
+                    ok: e.get("ok").and_then(Json::as_bool).unwrap_or(false),
+                    wall_ms: e.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                    cells: e.get("cells").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                    rows: e.get("rows").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                    misses: e.get("misses").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    error: e.get("error").and_then(Json::as_str).map(str::to_string),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunAllReport {
+            records: v.get("records").and_then(Json::as_f64).map(|n| n as usize),
+            runs: v.get("runs").and_then(Json::as_f64).map(|n| n as usize),
+            jobs: v.get("jobs").and_then(Json::as_f64).unwrap_or(1.0) as usize,
+            seed: v.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            total_wall_ms: v.get("total_wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            experiments,
+        })
+    }
+}
+
+fn opt_num(v: Option<usize>) -> Json {
+    match v {
+        Some(n) => Json::Number(n as f64),
+        None => Json::Null,
+    }
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+/// Outcome of comparing a run record against a checked-in baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegressionReport {
+    /// Human-readable failures (empty = gate passes).
+    pub failures: Vec<String>,
+    /// Informational notes (new experiments, wall-time deltas).
+    pub notes: Vec<String>,
+}
+
+impl RegressionReport {
+    /// True when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline`: simulated miss counts must not
+/// drift at all, and total wall time must not regress more than
+/// `wall_slack_pct` percent.
+///
+/// Parameters (`records`/`runs`/`seed`) must match, otherwise the miss
+/// comparison would be meaningless. Experiments present only in the
+/// baseline fail the gate (coverage loss); experiments present only in
+/// the current run are noted.
+pub fn check_regression(
+    current: &RunAllReport,
+    baseline: &RunAllReport,
+    wall_slack_pct: f64,
+) -> RegressionReport {
+    let mut failures = Vec::new();
+    let mut notes = Vec::new();
+
+    if current.records != baseline.records
+        || current.runs != baseline.runs
+        || current.seed != baseline.seed
+    {
+        failures.push(format!(
+            "parameter mismatch: current records={:?} runs={:?} seed={} vs baseline records={:?} runs={:?} seed={}",
+            current.records, current.runs, current.seed,
+            baseline.records, baseline.runs, baseline.seed,
+        ));
+        return RegressionReport { failures, notes };
+    }
+
+    for base in &baseline.experiments {
+        match current.experiments.iter().find(|e| e.name == base.name) {
+            None => failures.push(format!("experiment `{}` disappeared", base.name)),
+            Some(cur) => {
+                if !cur.ok {
+                    failures.push(format!(
+                        "experiment `{}` failed: {}",
+                        cur.name,
+                        cur.error.as_deref().unwrap_or("unknown error")
+                    ));
+                } else if base.ok && cur.misses != base.misses {
+                    failures.push(format!(
+                        "`{}` simulated misses drifted: {} -> {}",
+                        cur.name, base.misses, cur.misses
+                    ));
+                }
+            }
+        }
+    }
+    for cur in &current.experiments {
+        if !baseline.experiments.iter().any(|e| e.name == cur.name) {
+            notes.push(format!(
+                "experiment `{}` is new (no baseline entry)",
+                cur.name
+            ));
+        }
+    }
+
+    if baseline.total_wall_ms > 0.0 {
+        let limit = baseline.total_wall_ms * (1.0 + wall_slack_pct / 100.0);
+        if current.total_wall_ms > limit {
+            failures.push(format!(
+                "total wall time regressed: {:.1} ms vs baseline {:.1} ms (+{:.0}% > {:.0}% slack)",
+                current.total_wall_ms,
+                baseline.total_wall_ms,
+                (current.total_wall_ms / baseline.total_wall_ms - 1.0) * 100.0,
+                wall_slack_pct,
+            ));
+        } else {
+            notes.push(format!(
+                "total wall time {:.1} ms vs baseline {:.1} ms (limit {limit:.1} ms)",
+                current.total_wall_ms, baseline.total_wall_ms
+            ));
+        }
+    }
+
+    RegressionReport { failures, notes }
+}

@@ -12,6 +12,12 @@
 use std::fmt::Write as _;
 
 pub use tempo;
+pub use tempo_par;
+
+pub mod experiments;
+pub mod harness;
+pub mod json;
+pub mod sweep;
 
 /// Default number of trace records for training runs.
 ///
@@ -27,8 +33,8 @@ pub const DEFAULT_TEST_LEN: usize = 400_000;
 /// Parses `--records N` and `--seed N` style overrides from `args`.
 ///
 /// Recognized flags: `--records`, `--seed`, `--runs`, `--out`,
-/// `--budget-ms`. Unknown flags are ignored so binaries can layer their
-/// own.
+/// `--budget-ms`, `--jobs`. Unknown flags are ignored so binaries can
+/// layer their own.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommonArgs {
     /// Trace length override.
@@ -42,6 +48,9 @@ pub struct CommonArgs {
     /// Optional wall-clock budget per placement (milliseconds); placements
     /// degrade through the fallback chain instead of overrunning.
     pub budget_ms: Option<u64>,
+    /// Worker threads for parallel sweeps (default: available
+    /// parallelism). Results are byte-identical for any value.
+    pub jobs: usize,
 }
 
 impl CommonArgs {
@@ -53,6 +62,7 @@ impl CommonArgs {
             runs: default_runs,
             out: None,
             budget_ms: None,
+            jobs: tempo_par::available_parallelism(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -77,6 +87,11 @@ impl CommonArgs {
                 }
                 "--budget-ms" => {
                     args.budget_ms = it.next().and_then(|s| s.parse().ok());
+                }
+                "--jobs" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        args.jobs = v;
+                    }
                 }
                 _ => {}
             }

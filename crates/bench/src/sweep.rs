@@ -1,0 +1,240 @@
+//! The typed evaluation matrix: benchmark × algorithm × cache config.
+//!
+//! A [`SweepSpec`] names the axes; a [`SweepRunner`] expands them into
+//! jobs (one per benchmark × cache cell — the profile is shared by every
+//! algorithm evaluated on it), runs the jobs across N workers, and
+//! aggregates typed [`SweepRow`]s in a deterministic order: benchmark
+//! major, cache config next, algorithm minor — independent of the worker
+//! count (see DESIGN.md §9 for the determinism contract).
+
+use tempo::prelude::*;
+use tempo::workloads::{par as wpar, BenchmarkModel};
+use tempo_par::Pool;
+
+/// A named placement algorithm on the sweep's algorithm axis.
+///
+/// `Identity` is the unplaced source-order baseline; it is evaluated
+/// without the static-analyzer gate (it is the measurement reference, not
+/// a produced layout). Real algorithms go through
+/// [`checked_place`](crate::checked_place) so an invalid layout aborts the
+/// cell instead of contributing numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// Source-order (unoptimized) baseline.
+    Identity,
+    /// Pettis–Hansen chaining.
+    PettisHansen,
+    /// Hashemi–Kaeli–Calder cache coloring.
+    CacheColoring,
+    /// The paper's TRG-based placement.
+    Gbsc,
+}
+
+impl AlgorithmSpec {
+    /// Display / CSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Identity => "default",
+            AlgorithmSpec::PettisHansen => "PH",
+            AlgorithmSpec::CacheColoring => "HKC",
+            AlgorithmSpec::Gbsc => "GBSC",
+        }
+    }
+
+    /// The paper's evaluated trio plus the identity baseline.
+    pub fn standard() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::Identity,
+            AlgorithmSpec::PettisHansen,
+            AlgorithmSpec::CacheColoring,
+            AlgorithmSpec::Gbsc,
+        ]
+    }
+
+    fn place(&self, session: &tempo::ProfiledSession<'_>) -> Layout {
+        match self {
+            AlgorithmSpec::Identity => Layout::source_order(session.program()),
+            AlgorithmSpec::PettisHansen => crate::checked_place(session, &PettisHansen::new()),
+            AlgorithmSpec::CacheColoring => crate::checked_place(session, &CacheColoring::new()),
+            AlgorithmSpec::Gbsc => crate::checked_place(session, &Gbsc::new()),
+        }
+    }
+}
+
+/// The axes of an evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Benchmark axis.
+    pub benchmarks: Vec<BenchmarkModel>,
+    /// Algorithm axis.
+    pub algorithms: Vec<AlgorithmSpec>,
+    /// Cache-geometry axis (each config re-profiles: the Q bound and the
+    /// offset space depend on the geometry).
+    pub caches: Vec<CacheConfig>,
+    /// Training/testing trace length.
+    pub records: usize,
+}
+
+/// One evaluated cell of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Cache geometry the cell was profiled and evaluated on.
+    pub cache: CacheConfig,
+    /// Testing-trace simulation results.
+    pub stats: SimStats,
+}
+
+impl SweepRow {
+    /// Miss rate in percent (the figure the paper reports).
+    pub fn miss_rate_pct(&self) -> f64 {
+        self.stats.miss_rate() * 100.0
+    }
+}
+
+/// A cell of the matrix failed (its job panicked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Benchmark of the failed cell.
+    pub benchmark: String,
+    /// Cache config of the failed cell.
+    pub cache: String,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep cell ({} on {}) failed: {}",
+            self.benchmark, self.cache, self.message
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Expands and runs a [`SweepSpec`] across a worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    pool: Pool,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` workers.
+    pub fn new(jobs: usize) -> SweepRunner {
+        SweepRunner {
+            pool: Pool::new(jobs),
+        }
+    }
+
+    /// A runner on an existing pool.
+    pub fn on(pool: Pool) -> SweepRunner {
+        SweepRunner { pool }
+    }
+
+    /// Runs the full matrix and returns rows in deterministic order
+    /// (benchmark major, cache next, algorithm minor), independent of the
+    /// worker count.
+    ///
+    /// Jobs are one per benchmark × cache pair: the pair's training
+    /// trace, profile, and testing trace are computed once and shared by
+    /// every algorithm on the axis. A panicking cell does not abort its
+    /// siblings; all failures are collected into the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first-listed [`SweepError`] per failed cell (rows from
+    /// successful cells are discarded — a partially evaluated matrix is
+    /// not a result).
+    pub fn run(&self, spec: &SweepSpec) -> Result<Vec<SweepRow>, Vec<SweepError>> {
+        struct Cell {
+            model_idx: usize,
+            cache: CacheConfig,
+        }
+        let cells: Vec<Cell> = (0..spec.benchmarks.len())
+            .flat_map(|model_idx| {
+                spec.caches
+                    .iter()
+                    .map(move |&cache| Cell { model_idx, cache })
+            })
+            .collect();
+
+        let benchmarks = &spec.benchmarks;
+        let algorithms = &spec.algorithms;
+        let records = spec.records;
+        let jobs: Vec<_> = cells
+            .iter()
+            .map(|cell| {
+                let model = &benchmarks[cell.model_idx];
+                let cache = cell.cache;
+                move || -> Vec<SweepRow> {
+                    let (train, test) = wpar::train_test_traces(model, records, &Pool::new(1));
+                    let session = Session::new(model.program(), cache).profile(&train);
+                    algorithms
+                        .iter()
+                        .map(|alg| {
+                            let layout = alg.place(&session);
+                            SweepRow {
+                                benchmark: model.name(),
+                                algorithm: alg.name(),
+                                cache,
+                                stats: session.evaluate(&layout, &test),
+                            }
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+
+        let outcomes = self.pool.run(jobs);
+        let mut rows = Vec::with_capacity(cells.len() * algorithms.len());
+        let mut errors = Vec::new();
+        for (cell, outcome) in cells.iter().zip(outcomes) {
+            match outcome {
+                Ok(mut cell_rows) => rows.append(&mut cell_rows),
+                Err(p) => errors.push(SweepError {
+                    benchmark: benchmarks[cell.model_idx].name().to_string(),
+                    cache: cell.cache.to_string(),
+                    message: p.message,
+                }),
+            }
+        }
+        if errors.is_empty() {
+            Ok(rows)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo::workloads::suite;
+
+    #[test]
+    fn matrix_expands_in_deterministic_order() {
+        let spec = SweepSpec {
+            benchmarks: vec![suite::m88ksim()],
+            algorithms: vec![AlgorithmSpec::Identity, AlgorithmSpec::Gbsc],
+            caches: vec![
+                CacheConfig::direct_mapped(4096).unwrap(),
+                CacheConfig::direct_mapped_8k(),
+            ],
+            records: 4_000,
+        };
+        let rows = SweepRunner::new(2).run(&spec).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows.iter().map(|r| r.algorithm).collect::<Vec<_>>(),
+            vec!["default", "GBSC", "default", "GBSC"]
+        );
+        assert_eq!(rows[0].cache.size(), 4096);
+        assert_eq!(rows[2].cache.size(), 8192);
+    }
+}

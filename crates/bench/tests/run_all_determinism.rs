@@ -1,0 +1,105 @@
+//! Integration test for the `run-all` determinism contract (DESIGN.md
+//! §9): every file the driver writes — reports and CSVs — is
+//! byte-identical for any `--jobs`.
+//!
+//! Both runs use the *same* output path (snapshotting the first run's
+//! files into memory before deleting the directory), because the reports
+//! embed "wrote <path>" lines: writing to two differently named
+//! directories would diff on the path string alone and mask real
+//! divergence.
+
+#![allow(clippy::unwrap_used)] // test code asserts by panicking
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use tempo_bench::harness::{run_all, RunAllOpts};
+
+/// Reads every file in `dir` (flat — the driver writes no subdirectories)
+/// into a name → bytes map.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().into_string().unwrap();
+        files.insert(name, fs::read(entry.path()).unwrap());
+    }
+    files
+}
+
+#[test]
+fn run_all_outputs_independent_of_worker_count() {
+    let dir = std::env::temp_dir().join("tempo-run-all-determinism");
+    let _ = fs::remove_dir_all(&dir);
+
+    // The subset with the trickiest determinism obligations: per-cell RNG
+    // streams (fig5, s_sweep) and a serial-mutation / parallel-evaluation
+    // split (fig6). fig5 and fig6 also cover CSV output and the
+    // "wrote <path>" report lines. The SweepRunner matrix has its own
+    // jobs-independence proptest (tests/sweep_jobs.rs), so cache_sweep —
+    // by far the most expensive experiment in a debug build — is not
+    // repeated here.
+    let serial_opts = RunAllOpts {
+        records: Some(1_000),
+        runs: Some(2),
+        jobs: 1,
+        out_dir: dir.clone(),
+        bench_json: None,
+        only: Some(
+            ["fig5", "fig6", "s_sweep"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        ),
+        verbose: false,
+        ..RunAllOpts::default()
+    };
+
+    let report = run_all(&serial_opts).unwrap();
+    assert!(report.all_ok(), "serial run failed: {report:?}");
+    assert_eq!(report.jobs, 1);
+    let serial = snapshot(&dir);
+    // 3 reports + fig5/fig6 CSVs.
+    assert_eq!(serial.len(), 5, "unexpected outputs: {:?}", serial.keys());
+
+    // Re-run into the same path so embedded path strings cannot differ.
+    fs::remove_dir_all(&dir).unwrap();
+    let parallel_opts = RunAllOpts {
+        jobs: 4,
+        ..serial_opts
+    };
+    let report = run_all(&parallel_opts).unwrap();
+    assert!(report.all_ok(), "parallel run failed: {report:?}");
+    let parallel = snapshot(&dir);
+    fs::remove_dir_all(&dir).unwrap();
+
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(
+            bytes, &parallel[name],
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+}
+
+/// `--only` with an unknown name is a usage error, not a partial run.
+#[test]
+fn run_all_rejects_unknown_experiment_names() {
+    let opts = RunAllOpts {
+        out_dir: std::env::temp_dir().join("tempo-run-all-unknown"),
+        bench_json: None,
+        only: Some(vec!["no_such_experiment".to_string()]),
+        verbose: false,
+        ..RunAllOpts::default()
+    };
+    let err = run_all(&opts).unwrap_err();
+    assert!(matches!(
+        err,
+        tempo_bench::harness::HarnessError::UnknownExperiment(ref n)
+            if n == "no_such_experiment"
+    ));
+}

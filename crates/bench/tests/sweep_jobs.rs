@@ -1,0 +1,73 @@
+//! Property test for the [`SweepRunner`] determinism contract
+//! (DESIGN.md §9): the evaluated matrix is byte-for-byte the same rows in
+//! the same order for any worker count.
+//!
+//! The serial (`jobs = 1`) run is the reference; each sampled case runs
+//! the same spec at a random worker count and compares typed rows, which
+//! covers both the numeric results and the benchmark-major / cache /
+//! algorithm-minor ordering.
+
+#![allow(clippy::unwrap_used)] // test code asserts by panicking
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use tempo_bench::sweep::{AlgorithmSpec, SweepRow, SweepRunner, SweepSpec};
+use tempo_bench::tempo::prelude::*;
+use tempo_bench::tempo::workloads::suite;
+
+/// A matrix small enough for debug-build test time (each cell pays for a
+/// full profile + checked placement + simulation, several seconds in a
+/// debug build) but wide enough to exercise multi-cell scheduling:
+/// 1 benchmark × 2 cache sizes = 2 concurrent cells, each evaluating the
+/// full standard algorithm axis.
+fn spec() -> SweepSpec {
+    SweepSpec {
+        benchmarks: vec![suite::perl()],
+        algorithms: AlgorithmSpec::standard(),
+        caches: [2u32, 4]
+            .iter()
+            .map(|kb| CacheConfig::direct_mapped(kb * 1024).expect("valid size"))
+            .collect(),
+        records: 1_000,
+    }
+}
+
+/// The serial reference, computed once and shared across proptest cases.
+fn reference() -> &'static [SweepRow] {
+    static REFERENCE: OnceLock<Vec<SweepRow>> = OnceLock::new();
+    REFERENCE.get_or_init(|| SweepRunner::new(1).run(&spec()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn sweep_rows_independent_of_worker_count(jobs in 2usize..9) {
+        let rows = SweepRunner::new(jobs).run(&spec()).unwrap();
+        prop_assert_eq!(rows.len(), reference().len());
+        for (got, want) in rows.iter().zip(reference()) {
+            prop_assert_eq!(got, want, "row diverged at jobs={}", jobs);
+        }
+    }
+}
+
+/// The row order itself matches the documented expansion: benchmark
+/// major, cache next, algorithm minor.
+#[test]
+fn sweep_row_order_is_the_documented_expansion() {
+    let spec = spec();
+    let mut expected = Vec::new();
+    for model in &spec.benchmarks {
+        for cache in &spec.caches {
+            for alg in &spec.algorithms {
+                expected.push((model.name(), *cache, alg.name()));
+            }
+        }
+    }
+    let got: Vec<_> = reference()
+        .iter()
+        .map(|r| (r.benchmark, r.cache, r.algorithm))
+        .collect();
+    assert_eq!(got, expected);
+}

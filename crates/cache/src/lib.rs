@@ -42,8 +42,10 @@ mod cache;
 mod classify;
 mod config;
 mod sim;
+pub mod sweep;
 
 pub use cache::InstructionCache;
 pub use classify::{classify, MissBreakdown};
 pub use config::{CacheConfig, CacheConfigError};
 pub use sim::{simulate, SimStats, Simulator};
+pub use sweep::{simulate_configs, simulate_layouts};

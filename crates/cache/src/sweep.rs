@@ -1,0 +1,127 @@
+//! Parallel sweep evaluation: many simulations over one read-only trace.
+//!
+//! The evaluation matrix (benchmark × algorithm × cache config) hits the
+//! simulator in two hot shapes: *several layouts on one cache* (comparing
+//! algorithms) and *one layout on several caches* (geometry sweeps). Both
+//! are embarrassingly parallel — every cell reads the same program, trace,
+//! and layout data and owns its own [`InstructionCache`] — so these
+//! helpers fan the cells out over a [`tempo_par::Pool`] while keeping the
+//! result order equal to the input order, worker count notwithstanding.
+
+use tempo_par::Pool;
+use tempo_program::{Layout, Program};
+use tempo_trace::Trace;
+
+use crate::{simulate, CacheConfig, SimStats};
+
+/// Simulates every layout in `layouts` against the same trace and cache
+/// config, in parallel, returning stats in `layouts` order.
+///
+/// # Panics
+///
+/// Re-raises a worker panic on the calling thread (the simulator itself
+/// does not panic on validated inputs; a panic here means a layout/program
+/// mismatch upstream).
+pub fn simulate_layouts(
+    program: &Program,
+    layouts: &[Layout],
+    trace: &Trace,
+    config: CacheConfig,
+    pool: &Pool,
+) -> Vec<SimStats> {
+    let jobs: Vec<_> = layouts
+        .iter()
+        .map(|layout| move || simulate(program, layout, trace, config))
+        .collect();
+    collect_or_panic(pool.run(jobs))
+}
+
+/// Simulates one layout against every cache config in `configs`, in
+/// parallel, returning stats in `configs` order.
+///
+/// This is the §5.2-style geometry sweep: independent configs sharing one
+/// read-only trace.
+///
+/// # Panics
+///
+/// Re-raises a worker panic on the calling thread (see
+/// [`simulate_layouts`]).
+pub fn simulate_configs(
+    program: &Program,
+    layout: &Layout,
+    trace: &Trace,
+    configs: &[CacheConfig],
+    pool: &Pool,
+) -> Vec<SimStats> {
+    let jobs: Vec<_> = configs
+        .iter()
+        .map(|&config| move || simulate(program, layout, trace, config))
+        .collect();
+    collect_or_panic(pool.run(jobs))
+}
+
+fn collect_or_panic(results: Vec<Result<SimStats, tempo_par::JobPanic>>) -> Vec<SimStats> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(stats) => stats,
+            Err(p) => panic!("sweep simulation {p}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Program, Trace) {
+        let program = Program::builder()
+            .procedure("a", 4096)
+            .procedure("b", 4096)
+            .procedure("c", 4096)
+            .build()
+            .unwrap();
+        let ids: Vec<_> = program.ids().collect();
+        let refs: Vec<_> = (0..200)
+            .map(|i| ids[if i % 2 == 0 { 0 } else { 2 }])
+            .collect();
+        let trace = Trace::from_full_records(&program, refs);
+        (program, trace)
+    }
+
+    #[test]
+    fn layouts_sweep_matches_serial_for_any_worker_count() {
+        let (program, trace) = fixture();
+        let config = CacheConfig::direct_mapped_8k();
+        let layouts = vec![
+            Layout::source_order(&program),
+            Layout::from_addresses(vec![0, 8192, 4096]),
+        ];
+        let serial: Vec<SimStats> = layouts
+            .iter()
+            .map(|l| simulate(&program, l, &trace, config))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let par = simulate_layouts(&program, &layouts, &trace, config, &Pool::new(workers));
+            assert_eq!(par, serial, "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn configs_sweep_matches_serial_for_any_worker_count() {
+        let (program, trace) = fixture();
+        let layout = Layout::source_order(&program);
+        let configs: Vec<CacheConfig> = [2048u32, 4096, 8192, 16384]
+            .iter()
+            .map(|&s| CacheConfig::direct_mapped(s).unwrap())
+            .collect();
+        let serial: Vec<SimStats> = configs
+            .iter()
+            .map(|&c| simulate(&program, &layout, &trace, c))
+            .collect();
+        for workers in [1, 3, 8] {
+            let par = simulate_configs(&program, &layout, &trace, &configs, &Pool::new(workers));
+            assert_eq!(par, serial, "at {workers} workers");
+        }
+    }
+}

@@ -412,6 +412,66 @@ pub fn compare(args: &ArgMap) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `bench`: run the experiment suite through the shared tempo-bench
+/// harness (the same driver as `tempo-bench run-all`).
+pub fn bench(args: &ArgMap) -> Result<(), CliError> {
+    use tempo_bench::harness::{self, RunAllOpts};
+
+    let mut opts = RunAllOpts {
+        verbose: !args.switch("quiet"),
+        ..RunAllOpts::default()
+    };
+    if let Some(records) = args.get_parsed::<usize>("records")? {
+        opts.records = Some(records);
+    }
+    if let Some(runs) = args.get_parsed::<usize>("runs")? {
+        opts.runs = Some(runs);
+    }
+    if let Some(jobs) = args.get_parsed::<usize>("jobs")? {
+        opts.jobs = jobs;
+    }
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        opts.seed = seed;
+    }
+    if let Some(dir) = args.get("out-dir") {
+        opts.out_dir = dir.into();
+    }
+    if let Some(path) = args.get("bench-json") {
+        opts.bench_json = Some(path.into());
+    }
+    if args.switch("no-bench-json") {
+        opts.bench_json = None;
+    }
+    if let Some(only) = args.get("only") {
+        opts.only = Some(only.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    args.finish()?;
+
+    let report = match harness::run_all(&opts) {
+        Ok(report) => report,
+        Err(harness::HarnessError::UnknownExperiment(name)) => {
+            return Err(CliError::Usage(format!(
+                "unknown experiment `{name}` (see `tempo-bench list`)"
+            )));
+        }
+        Err(harness::HarnessError::Io(e)) => return Err(CliError::Io(e)),
+    };
+    let failed: Vec<&str> = report
+        .experiments
+        .iter()
+        .filter(|e| !e.ok)
+        .map(|e| e.name.as_str())
+        .collect();
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Inconsistent(format!(
+            "experiments failed: {}",
+            failed.join(", ")
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "analyze" => commands::analyze(&parsed),
         "trace-stats" => commands::trace_stats(&parsed),
         "compare" => commands::compare(&parsed),
+        "bench" => commands::bench(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -90,6 +91,10 @@ commands:
   compare   --program FILE --train FILE --test FILE
             [--cache SIZExLINExASSOC] [--lossy|--strict]
       profile on train, place with every algorithm, evaluate on test
+  bench     [--records N] [--runs N] [--jobs N] [--seed N] [--out-dir DIR]
+            [--bench-json PATH] [--no-bench-json] [--only NAMES] [--quiet]
+      run the paper's experiment suite in parallel (same driver as
+      `tempo-bench run-all`); writes results/ and BENCH_run.json
 
 trace reading defaults to --strict (reject corrupt traces); --lossy
 resyncs past defective records and prints a recovery summary to stderr";

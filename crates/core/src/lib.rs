@@ -45,13 +45,15 @@
 //! ```
 //!
 //! The sub-crates are re-exported under their domain names: [`program`],
-//! [`trace`], [`cache`], [`trg`], [`place`], [`analyze`], [`workloads`].
+//! [`trace`], [`cache`], [`trg`], [`place`], [`analyze`], [`workloads`],
+//! plus [`par`], the scoped worker pool behind every parallel sweep.
 
 // In the test build, `unwrap` IS the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
 pub use tempo_analyze as analyze;
 pub use tempo_cache as cache;
+pub use tempo_par as par;
 pub use tempo_place as place;
 pub use tempo_program as program;
 pub use tempo_trace as trace;

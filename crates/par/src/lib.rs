@@ -1,0 +1,235 @@
+//! A small, dependency-free scoped worker pool for embarrassingly
+//! parallel evaluation sweeps.
+//!
+//! The evaluation layer of the toolkit (tempo-bench's experiment matrix,
+//! tempo-cache's config sweeps, tempo-workloads' multi-seed trace
+//! generation) is a pile of independent jobs over shared read-only data.
+//! This crate runs such job lists across N OS threads with two contracts
+//! the rest of the workspace leans on:
+//!
+//! * **Deterministic ordering** — `results[i]` is always the outcome of
+//!   `jobs[i]`, no matter how many workers ran or how they interleaved.
+//!   Aggregation code downstream can therefore produce byte-identical
+//!   reports for any worker count.
+//! * **Panic isolation** — each job runs under
+//!   [`std::panic::catch_unwind`]; a panicking job surfaces as a per-job
+//!   [`JobPanic`] in its result slot while every other job still completes
+//!   and the pool remains usable. One bad cell does not kill a sweep.
+//!
+//! Workers are spawned per [`Pool::run`] call inside a
+//! [`std::thread::scope`], so jobs may borrow from the caller's stack and
+//! no threads linger between calls. A [`Pool`] is plain configuration —
+//! cheap to create, `Copy`, and safe to share.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_par::Pool;
+//!
+//! let data = vec![1u64, 2, 3, 4];
+//! let pool = Pool::new(8);
+//! let jobs: Vec<_> = data.iter().map(|&x| move || x * x).collect();
+//! let results = pool.run(jobs);
+//! let squares: Vec<u64> = results.into_iter().map(|r| r.expect("no panics")).collect();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+// In the test build, `unwrap` IS the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of hardware threads available to this process (at least 1).
+///
+/// Used as the default worker count wherever a `--jobs` knob is not given.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A job that panicked instead of producing a value.
+///
+/// Carries the job's index in the submitted list and the rendered panic
+/// payload (the `&str`/`String` message when there was one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the failed job in the submitted `jobs` vector.
+    pub index: usize,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl JobPanic {
+    fn new(index: usize, payload: &(dyn Any + Send)) -> JobPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        JobPanic { index, message }
+    }
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// A fixed-width worker pool (configuration only; threads are scoped to
+/// each [`run`](Pool::run) call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to [`available_parallelism`].
+    pub fn with_available() -> Pool {
+        Pool::new(available_parallelism())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job, returning one result per job **in submission
+    /// order**.
+    ///
+    /// Jobs are claimed from a shared counter, so long and short jobs
+    /// balance across workers; results land in their submission slot
+    /// regardless. A panicking job yields `Err(JobPanic)` in its slot and
+    /// does not affect its siblings. With one worker (or zero/one job)
+    /// everything runs inline on the calling thread — same contract, no
+    /// spawn overhead.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    catch_unwind(AssertUnwindSafe(job)).map_err(|p| JobPanic::new(i, p.as_ref()))
+                })
+                .collect();
+        }
+
+        // Each slot holds its job until a worker claims it, then its
+        // result. Slots are only ever touched by the single worker that
+        // won `next.fetch_add` for that index, but the Mutex keeps the
+        // sharing safe without unsafe code.
+        let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("a job slot is locked only briefly and never across a panic")
+                        .take()
+                        .expect("each job index is claimed exactly once");
+                    let outcome = catch_unwind(AssertUnwindSafe(job))
+                        .map_err(|p| JobPanic::new(i, p.as_ref()));
+                    *results[i]
+                        .lock()
+                        .expect("a result slot is locked only briefly and never across a panic") =
+                        Some(outcome);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("workers have exited; no lock is held")
+                    .expect("every index below n was claimed and completed")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over `items` through the pool, preserving item order.
+    ///
+    /// Convenience wrapper over [`run`](Pool::run) for the common
+    /// "same function, many inputs" sweep shape.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<Result<T, JobPanic>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let f = &f;
+        self.run(items.into_iter().map(|item| move || f(item)).collect())
+    }
+}
+
+impl Default for Pool {
+    /// Defaults to one worker per available hardware thread.
+    fn default() -> Pool {
+        Pool::with_available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_path_preserves_order() {
+        let pool = Pool::new(1);
+        let jobs: Vec<_> = (0..10u64).map(|i| move || i * 3).collect();
+        let out: Vec<u64> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(out, (0..10u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let pool = Pool::new(4);
+        let out: Vec<Result<u64, JobPanic>> = pool.run(Vec::<fn() -> u64>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        assert_eq!(Pool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn map_borrows_shared_data() {
+        let base = [10u64, 20, 30];
+        let pool = Pool::new(3);
+        let out: Vec<u64> = pool
+            .map((0..3).collect(), |i: usize| base[i] + 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+}

@@ -1,0 +1,102 @@
+//! The pool's two contracts, exercised the way the evaluation layer
+//! relies on them: result ordering is independent of the worker count,
+//! and a panicking job is isolated to its own result slot.
+
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code asserts by panicking
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tempo_par::{JobPanic, Pool};
+
+/// Ordering: for every worker count 1..8, results line up with submission
+/// order even when early jobs are the slowest (so later jobs finish
+/// first on any multi-worker schedule).
+#[test]
+fn ordering_preserved_under_1_to_8_workers() {
+    let expected: Vec<u64> = (0..40).map(|i| i * i).collect();
+    for workers in 1..=8 {
+        let pool = Pool::new(workers);
+        let jobs: Vec<_> = (0..40u64)
+            .map(|i| {
+                move || {
+                    // Front-loaded latency: job 0 sleeps longest.
+                    std::thread::sleep(std::time::Duration::from_micros((40 - i).min(5) * 200));
+                    i * i
+                }
+            })
+            .collect();
+        let out: Vec<u64> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(out, expected, "order broke at {workers} workers");
+    }
+}
+
+/// Panic isolation: the failing job surfaces as `Err(JobPanic)` carrying
+/// its index and message; every sibling job still runs and succeeds.
+#[test]
+fn panicking_job_is_isolated() {
+    let ran = AtomicUsize::new(0);
+    for workers in [1, 2, 4, 8] {
+        ran.store(0, Ordering::SeqCst);
+        let pool = Pool::new(workers);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..12usize)
+            .map(|i| {
+                let ran = &ran;
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    assert!(i != 3, "boom at job 3");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 12);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let err: &JobPanic = r.as_ref().unwrap_err();
+                assert_eq!(err.index, 3);
+                assert!(
+                    err.message.contains("boom at job 3"),
+                    "got: {}",
+                    err.message
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+        // Every job ran despite the mid-list panic.
+        assert_eq!(ran.load(Ordering::SeqCst), 12, "at {workers} workers");
+    }
+}
+
+/// The pool survives a panicking batch: the same pool value runs a clean
+/// batch afterwards (threads are scoped per call, nothing is poisoned).
+#[test]
+fn pool_survives_a_panicking_batch() {
+    let pool = Pool::new(4);
+    let bad: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+        vec![Box::new(|| panic!("first batch fails")), Box::new(|| 7)];
+    let first = pool.run(bad);
+    assert!(first[0].is_err());
+    assert_eq!(*first[1].as_ref().unwrap(), 7);
+
+    let clean: Vec<_> = (0..8u32).map(|i| move || i + 1).collect();
+    let second: Vec<u32> = pool.run(clean).into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(second, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+}
+
+/// `map` preserves item order and isolates panics the same way `run` does.
+#[test]
+fn map_matches_run_contract() {
+    let pool = Pool::new(3);
+    let out = pool.map((0..9usize).collect(), |i| {
+        assert!(i != 5, "map job 5 dies");
+        i * 10
+    });
+    for (i, r) in out.iter().enumerate() {
+        if i == 5 {
+            assert_eq!(r.as_ref().unwrap_err().index, 5);
+        } else {
+            assert_eq!(*r.as_ref().unwrap(), i * 10);
+        }
+    }
+}

@@ -39,6 +39,7 @@
 pub mod callgraph;
 mod exec;
 mod generator;
+pub mod par;
 mod spec;
 pub mod suite;
 

@@ -1,40 +1,28 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper plus the ablations,
 # writing console output to results/ and CSV data where applicable.
-# Usage: scripts/run_all_experiments.sh [records] [runs]
+#
+# Thin wrapper over the unified parallel driver; all heavy lifting —
+# experiment registry, worker pool, BENCH_run.json — lives in
+# `tempo-bench run-all`. Extra arguments after [records] [runs] are
+# forwarded verbatim (e.g. --jobs 4, --only fig5,fig6).
+#
+# Usage: scripts/run_all_experiments.sh [records] [runs] [extra flags...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RECORDS="${1:-200000}"
-RUNS="${2:-40}"
-OUT=results
-mkdir -p "$OUT"
+shift || true
+RUNS_ARGS=()
+if [[ $# -gt 0 && "$1" != --* ]]; then
+  RUNS_ARGS=(--runs "$1")
+  shift
+fi
 
 cargo build --release -p tempo-bench
 
-run() {
-  local name="$1"; shift
-  echo "=== $name ==="
-  ./target/release/"$name" "$@" | tee "$OUT/$name.txt"
-  echo
-}
+status=0
+./target/release/tempo-bench run-all --records "$RECORDS" "${RUNS_ARGS[@]}" "$@" || status=$?
 
-run table1              --records "$RECORDS"
-run fig1_motivation
-run fig2_trg_walkthrough
-run fig5                --records "$RECORDS" --runs "$RUNS" --out "$OUT/fig5.csv"
-run fig6                --records "$RECORDS" --runs 80 --out "$OUT/fig6.csv"
-run padding_sensitivity --records "$RECORDS"
-run cache_sweep         --records "$RECORDS" --out "$OUT/cache_sweep.csv"
-run m88ksim_same_input  --records "$RECORDS"
-run set_associative     --records "$RECORDS"
-run s_sweep             --records "$RECORDS" --runs 15
-run ablation_chains     --records "$RECORDS"
-run chunk_sweep         --records "$RECORDS"
-run q_bound_sweep       --records "$RECORDS"
-run miss_breakdown      --records "$RECORDS"
-run reuse_profile       --records "$RECORDS"
-run splitting           --records "$RECORDS"
-run paging              --records "$RECORDS"
-
-echo "all experiment outputs written to $OUT/"
+echo "all experiment outputs written to results/ (run record: BENCH_run.json)"
+exit "$status"
