@@ -1,0 +1,6 @@
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::stream_scale`].
+
+fn main() {
+    tempo_bench::harness::bin_main("stream_scale");
+}

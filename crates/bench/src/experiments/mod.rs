@@ -23,4 +23,5 @@ pub mod reuse_profile;
 pub mod s_sweep;
 pub mod set_associative;
 pub mod splitting;
+pub mod stream_scale;
 pub mod table1;

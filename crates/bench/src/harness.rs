@@ -51,6 +51,7 @@ pub struct Ctx {
     csv: Option<Csv>,
     misses: u64,
     cells: usize,
+    metrics: Vec<(String, f64)>,
 }
 
 /// CSV payload produced by an experiment (header + data rows).
@@ -73,6 +74,11 @@ pub struct ExperimentOutput {
     pub misses: u64,
     /// Jobs executed through the pool.
     pub cells: usize,
+    /// Machine-readable side metrics (peak RSS, throughput, ...) for
+    /// `BENCH_run.json`. Never part of the text report: metrics may be
+    /// non-deterministic, and the report must stay byte-identical across
+    /// runs and `--jobs` values.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Ctx {
@@ -87,6 +93,7 @@ impl Ctx {
             csv: None,
             misses: 0,
             cells: 0,
+            metrics: Vec::new(),
         }
     }
 
@@ -144,6 +151,15 @@ impl Ctx {
         self.cells += cells;
     }
 
+    /// Records a machine-readable side metric for `BENCH_run.json`.
+    ///
+    /// Metrics carry measurements that must stay out of the deterministic
+    /// text report (wall-clock throughput, peak RSS). Recording the same
+    /// name twice keeps both entries, in order.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
     /// Sets the experiment's CSV output.
     pub fn set_csv(&mut self, header: &'static str, rows: Vec<String>) {
         self.csv = Some(Csv { header, rows });
@@ -163,6 +179,7 @@ impl Ctx {
             csv: self.csv,
             misses: self.misses,
             cells: self.cells,
+            metrics: self.metrics,
         }
     }
 }
@@ -324,6 +341,14 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         has_csv: false,
         run: crate::experiments::paging::run,
     },
+    ExperimentSpec {
+        name: "stream_scale",
+        title: "Paper-scale streaming pipeline (constant-memory profile + evaluate)",
+        default_records: 20_000_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::stream_scale::run,
+    },
 ];
 
 /// Looks up an experiment by name.
@@ -406,6 +431,8 @@ pub struct ExperimentRecord {
     pub rows: usize,
     /// Total simulated cache misses tallied.
     pub misses: u64,
+    /// Side metrics recorded via [`Ctx::metric`] (may be empty).
+    pub metrics: Vec<(String, f64)>,
     /// Panic message when `ok` is false.
     pub error: Option<String>,
 }
@@ -539,6 +566,7 @@ pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
                     cells: out.cells,
                     rows: out.text.lines().count() + out.csv.as_ref().map_or(0, |c| c.rows.len()),
                     misses: out.misses,
+                    metrics: out.metrics,
                     error: None,
                 }
             }
@@ -557,6 +585,7 @@ pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
                     cells: 0,
                     rows: 0,
                     misses: 0,
+                    metrics: Vec::new(),
                     error: Some(message),
                 }
             }
@@ -620,6 +649,17 @@ impl RunAllReport {
                                 ("rows".into(), Json::Number(e.rows as f64)),
                                 ("misses".into(), Json::Number(e.misses as f64)),
                             ];
+                            if !e.metrics.is_empty() {
+                                fields.push((
+                                    "metrics".into(),
+                                    Json::Object(
+                                        e.metrics
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::Number(*v)))
+                                            .collect(),
+                                    ),
+                                ));
+                            }
                             if let Some(err) = &e.error {
                                 fields.push(("error".into(), Json::String(err.clone())));
                             }
@@ -657,6 +697,13 @@ impl RunAllReport {
                     cells: e.get("cells").and_then(Json::as_f64).unwrap_or(0.0) as usize,
                     rows: e.get("rows").and_then(Json::as_f64).unwrap_or(0.0) as usize,
                     misses: e.get("misses").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    metrics: match e.get("metrics") {
+                        Some(Json::Object(fields)) => fields
+                            .iter()
+                            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                            .collect(),
+                        _ => Vec::new(),
+                    },
                     error: e.get("error").and_then(Json::as_str).map(str::to_string),
                 })
             })
@@ -681,6 +728,17 @@ fn opt_num(v: Option<usize>) -> Json {
 
 fn round1(v: f64) -> f64 {
     (v * 10.0).round() / 10.0
+}
+
+/// Peak resident set size of this process in KiB, read from
+/// `/proc/self/status` (`VmHWM`).
+///
+/// Returns `None` off Linux or when the file is unreadable, so callers
+/// can record the metric opportunistically.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Outcome of comparing a run record against a checked-in baseline.

@@ -47,5 +47,5 @@ pub mod sweep;
 pub use cache::InstructionCache;
 pub use classify::{classify, MissBreakdown};
 pub use config::{CacheConfig, CacheConfigError};
-pub use sim::{simulate, SimStats, Simulator};
-pub use sweep::{simulate_configs, simulate_layouts};
+pub use sim::{simulate, simulate_source, SimStats, Simulator};
+pub use sweep::{simulate_configs, simulate_layouts, simulate_layouts_streamed};

@@ -3,7 +3,8 @@
 use std::fmt;
 
 use tempo_program::{Layout, Program};
-use tempo_trace::{Trace, TraceRecord};
+use tempo_trace::io::TraceIoError;
+use tempo_trace::{Trace, TraceRecord, TraceSink, TraceSource};
 
 use crate::{CacheConfig, InstructionCache};
 
@@ -118,6 +119,23 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Drains a [`TraceSource`], stepping the simulator on every record —
+    /// the streaming counterpart of [`run`](Simulator::run), in constant
+    /// memory.
+    ///
+    /// Pass `&mut source` to keep the source and inspect its warnings
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    pub fn consume<S: TraceSource>(&mut self, mut source: S) -> Result<(), TraceIoError> {
+        while let Some(r) = source.try_next()? {
+            self.step(&r);
+        }
+        Ok(())
+    }
+
     /// Running totals.
     pub fn stats(&self) -> SimStats {
         self.stats
@@ -152,6 +170,36 @@ pub fn simulate(
     let mut sim = Simulator::new(program, layout, config);
     sim.run(trace.iter());
     sim.stats()
+}
+
+/// A simulator is a [`TraceSink`], so it can sit behind a `Tee` and share
+/// one pass over a source with the profiler and other consumers.
+impl TraceSink for Simulator<'_> {
+    fn accept(&mut self, record: &TraceRecord) {
+        self.step(record);
+    }
+}
+
+/// Simulates a [`TraceSource`] against a layout with a cold cache — the
+/// streaming counterpart of [`simulate`], in constant memory.
+///
+/// # Errors
+///
+/// Propagates the first error the source reports.
+///
+/// # Panics
+///
+/// Panics if the stream references procedures outside the program (use a
+/// lossy source constructed with the program to repair such records first).
+pub fn simulate_source<S: TraceSource>(
+    program: &Program,
+    layout: &Layout,
+    source: S,
+    config: CacheConfig,
+) -> Result<SimStats, TraceIoError> {
+    let mut sim = Simulator::new(program, layout, config);
+    sim.consume(source)?;
+    Ok(sim.stats())
 }
 
 #[cfg(test)]

@@ -10,9 +10,10 @@
 
 use tempo_par::Pool;
 use tempo_program::{Layout, Program};
-use tempo_trace::Trace;
+use tempo_trace::io::TraceIoError;
+use tempo_trace::{Trace, TraceSource};
 
-use crate::{simulate, CacheConfig, SimStats};
+use crate::{simulate, CacheConfig, SimStats, Simulator};
 
 /// Simulates every layout in `layouts` against the same trace and cache
 /// config, in parallel, returning stats in `layouts` order.
@@ -60,6 +61,36 @@ pub fn simulate_configs(
     collect_or_panic(pool.run(jobs))
 }
 
+/// Simulates every layout against one *shared* pass over a [`TraceSource`]:
+/// each record is stepped through all `layouts.len()` simulators as it
+/// arrives, so N layouts cost one trace read and O(N caches) memory instead
+/// of N materialized passes.
+///
+/// Results match [`simulate_layouts`] on the materialized trace exactly —
+/// every simulator owns its cache, so interleaving per record cannot change
+/// any cell's miss sequence.
+///
+/// # Errors
+///
+/// Propagates the first error the source reports.
+pub fn simulate_layouts_streamed<S: TraceSource>(
+    program: &Program,
+    layouts: &[Layout],
+    mut source: S,
+    config: CacheConfig,
+) -> Result<Vec<SimStats>, TraceIoError> {
+    let mut sims: Vec<Simulator<'_>> = layouts
+        .iter()
+        .map(|layout| Simulator::new(program, layout, config))
+        .collect();
+    while let Some(r) = source.try_next()? {
+        for sim in &mut sims {
+            sim.step(&r);
+        }
+    }
+    Ok(sims.iter().map(Simulator::stats).collect())
+}
+
 fn collect_or_panic(results: Vec<Result<SimStats, tempo_par::JobPanic>>) -> Vec<SimStats> {
     results
         .into_iter()
@@ -105,6 +136,28 @@ mod tests {
             let par = simulate_layouts(&program, &layouts, &trace, config, &Pool::new(workers));
             assert_eq!(par, serial, "at {workers} workers");
         }
+    }
+
+    #[test]
+    fn streamed_sweep_matches_materialized_passes() {
+        let (program, trace) = fixture();
+        let config = CacheConfig::direct_mapped_8k();
+        let layouts = vec![
+            Layout::source_order(&program),
+            Layout::from_addresses(vec![0, 8192, 4096]),
+        ];
+        let serial: Vec<SimStats> = layouts
+            .iter()
+            .map(|l| simulate(&program, l, &trace, config))
+            .collect();
+        let streamed = simulate_layouts_streamed(
+            &program,
+            &layouts,
+            tempo_trace::MemorySource::new(&trace),
+            config,
+        )
+        .unwrap();
+        assert_eq!(streamed, serial);
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! The CLI subcommand implementations.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
 use std::path::Path;
 
 use tempo::cache::classify;
 use tempo::place::{TrgChains, WcgOffsets};
 use tempo::prelude::*;
 use tempo::trace::analysis::{reuse_distances, working_set_sizes};
-use tempo::trace::io::ReadMode;
+use tempo::trace::io::{ReadMode, TraceIoError, V1Source, V1Writer};
+use tempo::trace::v2::{V2Source, V2Writer, DEFAULT_FRAME_RECORDS, MAGIC_V2};
 use tempo::trg::io::{read_profile, write_profile};
 use tempo::workloads::suite;
 
@@ -45,6 +46,158 @@ fn trace_read_mode(args: &ArgMap) -> Result<ReadMode, CliError> {
     })
 }
 
+/// A trace source over an open file, either container format.
+///
+/// Strict mode optionally carries the program so records are validated as
+/// they stream past (the streaming analogue of [`Trace::validate`]); lossy
+/// sources repair against the program at the format layer instead.
+enum FileSource<'p> {
+    V1 {
+        source: V1Source<'p, BufReader<File>>,
+        validate: Option<&'p Program>,
+        index: u64,
+    },
+    V2 {
+        source: V2Source<'p, BufReader<File>>,
+        validate: Option<&'p Program>,
+        index: u64,
+    },
+}
+
+impl TraceSource for FileSource<'_> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        let (next, validate, index) = match self {
+            FileSource::V1 {
+                source,
+                validate,
+                index,
+            } => (source.try_next()?, *validate, index),
+            FileSource::V2 {
+                source,
+                validate,
+                index,
+            } => (source.try_next()?, *validate, index),
+        };
+        if let (Some(r), Some(program)) = (&next, validate) {
+            let fits = r.proc.as_usize() < program.len()
+                && r.bytes >= 1
+                && r.bytes <= program.size_of(r.proc);
+            if !fits {
+                return Err(TraceIoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("trace record {index} does not fit the program"),
+                )));
+            }
+        }
+        *index += 1;
+        Ok(next)
+    }
+
+    fn warnings(&self) -> TraceWarnings {
+        match self {
+            FileSource::V1 { source, .. } => source.warnings(),
+            FileSource::V2 { source, .. } => source.warnings(),
+        }
+    }
+
+    fn expected_records(&self) -> Option<u64> {
+        match self {
+            FileSource::V1 { source, .. } => source.expected_records(),
+            FileSource::V2 { source, .. } => source.expected_records(),
+        }
+    }
+}
+
+/// Opens a trace file as a streaming source, sniffing the container format
+/// from the magic bytes (`TMPO` = v1, `TMP2` = v2). Lossy sources repair
+/// against `program` when one is given, structurally otherwise; no
+/// program-fit validation is attached (see [`open_file_source`]).
+fn open_raw_source<'p>(
+    path: &str,
+    program: Option<&'p Program>,
+    mode: ReadMode,
+) -> Result<FileSource<'p>, TraceIoError> {
+    let mut r = BufReader::new(File::open(Path::new(path))?);
+    // Peek without consuming; the constructors re-read the magic.
+    let head = r.fill_buf()?;
+    let is_v2 = head.len() >= 4 && head[0..4] == MAGIC_V2;
+    Ok(match (is_v2, mode) {
+        (false, ReadMode::Strict) => FileSource::V1 {
+            source: V1Source::new(r)?,
+            validate: None,
+            index: 0,
+        },
+        (false, ReadMode::Lossy) => FileSource::V1 {
+            source: V1Source::new_lossy(r, program)?,
+            validate: None,
+            index: 0,
+        },
+        (true, ReadMode::Strict) => FileSource::V2 {
+            source: V2Source::new(r)?,
+            validate: None,
+            index: 0,
+        },
+        (true, ReadMode::Lossy) => FileSource::V2 {
+            source: V2Source::new_lossy(r, program)?,
+            validate: None,
+            index: 0,
+        },
+    })
+}
+
+/// Opens a trace file for a command that interprets it against `program`:
+/// strict mode attaches streaming program-fit validation (the analogue of
+/// [`Trace::validate`]); lossy mode repairs at the source instead.
+fn open_file_source<'p>(
+    path: &str,
+    program: &'p Program,
+    mode: ReadMode,
+) -> Result<FileSource<'p>, TraceIoError> {
+    let mut source = open_raw_source(path, Some(program), mode)?;
+    if matches!(mode, ReadMode::Strict) {
+        let v = match &mut source {
+            FileSource::V1 { validate, .. } | FileSource::V2 { validate, .. } => validate,
+        };
+        *v = Some(program);
+    }
+    Ok(source)
+}
+
+/// Enforces the `--max-memory` budget (in MB) before a trace is
+/// materialized: the declared record count must fit, and a v2 stream
+/// (which declares no count) always requires `--stream`.
+fn check_memory_budget(args: &ArgMap, source: &FileSource<'_>, flag: &str) -> Result<(), CliError> {
+    let Some(mb) = args.get_parsed::<u64>("max-memory")? else {
+        return Ok(());
+    };
+    let budget = mb.saturating_mul(1024 * 1024);
+    let record_size = std::mem::size_of::<TraceRecord>() as u64;
+    match source.expected_records() {
+        Some(n) if n.saturating_mul(record_size) <= budget => Ok(()),
+        Some(n) => Err(CliError::Usage(format!(
+            "materializing {n} records needs ~{} MB, over the --max-memory {mb} MB budget; \
+             rerun with --stream",
+            (n.saturating_mul(record_size)).div_ceil(1024 * 1024),
+        ))),
+        None => Err(CliError::Usage(format!(
+            "--{flag} is a v2 stream with no declared record count; \
+             --max-memory requires --stream to bound memory"
+        ))),
+    }
+}
+
+/// Maps a streaming-read failure to the CLI error taxonomy: program-fit
+/// violations (raised by [`FileSource`]'s validator as `InvalidData`) are
+/// *inconsistent inputs*, everything else is a trace parse failure.
+fn trace_cli_error(e: TraceIoError) -> CliError {
+    if let TraceIoError::Io(io) = &e {
+        if io.kind() == std::io::ErrorKind::InvalidData {
+            return CliError::Inconsistent(io.to_string());
+        }
+    }
+    CliError::parse("trace", e)
+}
+
 fn load_trace(
     args: &ArgMap,
     flag: &str,
@@ -52,24 +205,23 @@ fn load_trace(
     mode: ReadMode,
 ) -> Result<Trace, CliError> {
     let path = args.require(flag)?;
+    let mut source = open_file_source(path, program, mode).map_err(trace_cli_error)?;
+    check_memory_budget(args, &source, flag)?;
+    let mut trace = Trace::new();
+    let summary = pump(&mut source, &mut trace).map_err(trace_cli_error)?;
     match mode {
         ReadMode::Strict => {
-            let trace = tempo::trace::io::read_binary(open(path)?)
-                .map_err(|e| CliError::parse("trace", e))?;
-            if let Err(index) = trace.validate(program) {
-                return Err(CliError::Inconsistent(format!(
-                    "trace record {index} does not fit the program"
-                )));
-            }
+            // Streaming validation already rejected non-fitting records.
             Ok(trace)
         }
         ReadMode::Lossy => {
             // The recovering reader drops or repairs whatever disagrees
             // with the program, so the result needs no re-validation.
-            let (trace, warnings) = tempo::trace::io::read_binary_lossy(open(path)?, Some(program))
-                .map_err(|e| CliError::parse("trace", e))?;
-            if !warnings.is_clean() {
-                eprintln!("tempo-cli: warning: --{flag} {path}: recovered ({warnings})");
+            if !summary.warnings.is_clean() {
+                eprintln!(
+                    "tempo-cli: warning: --{flag} {path}: recovered ({})",
+                    summary.warnings
+                );
             }
             Ok(trace)
         }
@@ -141,20 +293,49 @@ pub fn generate(args: &ArgMap) -> Result<(), CliError> {
 }
 
 /// `profile`: build WCG + TRGs (+ optional pair database) from a trace.
+///
+/// With `--stream` the trace is never materialized: the profiler makes two
+/// streaming passes over the file (popularity, then the Q-pass) in
+/// O(#procedures) memory, producing the identical profile.
 pub fn profile(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
     let mode = trace_read_mode(args)?;
-    let trace = load_trace(args, "trace", &program, mode)?;
+    let stream = args.switch("stream");
     let cache = args.cache()?;
     let coverage: f64 = args.get_or("coverage", 0.995)?;
     let pair_db = args.switch("pair-db");
     let out = args.require("out")?.to_string();
-    args.finish()?;
+    let selector = PopularitySelector::coverage(coverage).with_min_count(2);
 
-    let profile = Profiler::new(&program, cache)
-        .popularity(PopularitySelector::coverage(coverage).with_min_count(2))
-        .with_pair_db(pair_db)
-        .profile(&trace);
+    let profile = if stream {
+        let path = args.require("trace")?.to_string();
+        // Consume --max-memory if given: streaming satisfies any budget.
+        let _ = args.get_parsed::<u64>("max-memory")?;
+        args.finish()?;
+        let open_pass = || open_file_source(&path, &program, mode);
+        let popular = selector
+            .select_source(&program, open_pass().map_err(trace_cli_error)?)
+            .map_err(trace_cli_error)?;
+        let mut q_pass = open_pass().map_err(trace_cli_error)?;
+        let (profile, _) = Profiler::new(&program, cache)
+            .popularity(selector)
+            .with_pair_db(pair_db)
+            .with_popular(popular)
+            .profile_source(&mut q_pass)
+            .map_err(trace_cli_error)?;
+        let warnings = q_pass.warnings();
+        if !warnings.is_clean() {
+            eprintln!("tempo-cli: warning: --trace {path}: recovered ({warnings})");
+        }
+        profile
+    } else {
+        let trace = load_trace(args, "trace", &program, mode)?;
+        args.finish()?;
+        Profiler::new(&program, cache)
+            .popularity(selector)
+            .with_pair_db(pair_db)
+            .profile(&trace)
+    };
     write_profile(create(&out)?, &profile).map_err(|e| CliError::parse("profile", e))?;
     println!(
         "wrote {out}: {} popular procedures, WCG {} edges, TRG_select {} edges, TRG_place {} edges, avg Q {:.1}",
@@ -251,16 +432,41 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
 }
 
 /// `simulate`: miss-simulate a layout against a trace.
+///
+/// With `--stream` the trace drives the simulator in one constant-memory
+/// pass (statistics are identical to the materialized run); `--classify`
+/// needs the materialized trace and is rejected in that mode.
 pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
     let program = load_program(args)?;
     let layout = load_layout(args, &program)?;
     let mode = trace_read_mode(args)?;
-    let trace = load_trace(args, "trace", &program, mode)?;
+    let stream = args.switch("stream");
     let cache = args.cache()?;
     let want_classify = args.switch("classify");
-    args.finish()?;
 
-    let stats = tempo::cache::simulate(&program, &layout, &trace, cache);
+    let (stats, trace) = if stream {
+        if want_classify {
+            return Err(CliError::Usage(
+                "--classify requires a materialized trace; drop --stream".to_string(),
+            ));
+        }
+        let path = args.require("trace")?.to_string();
+        let _ = args.get_parsed::<u64>("max-memory")?;
+        args.finish()?;
+        let mut source = open_file_source(&path, &program, mode).map_err(trace_cli_error)?;
+        let stats = tempo::cache::simulate_source(&program, &layout, &mut source, cache)
+            .map_err(trace_cli_error)?;
+        let warnings = source.warnings();
+        if !warnings.is_clean() {
+            eprintln!("tempo-cli: warning: --trace {path}: recovered ({warnings})");
+        }
+        (stats, None)
+    } else {
+        let trace = load_trace(args, "trace", &program, mode)?;
+        args.finish()?;
+        let stats = tempo::cache::simulate(&program, &layout, &trace, cache);
+        (stats, Some(trace))
+    };
     println!(
         "{} records, {} line accesses, {} instructions",
         stats.records, stats.accesses, stats.instructions
@@ -272,6 +478,7 @@ pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
         stats.line_miss_rate() * 100.0
     );
     if want_classify {
+        let trace = trace.expect("classify implies the materialized branch");
         let b = classify(&program, &layout, &trace, cache);
         println!(
             "breakdown: {} cold, {} capacity, {} conflict ({:.1}% conflict)",
@@ -281,6 +488,63 @@ pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
             b.conflict_fraction() * 100.0
         );
     }
+    Ok(())
+}
+
+/// `convert`: transcode a trace between the v1 (fixed-record) and v2
+/// (chunked, CRC-framed) binary containers, streaming record-by-record in
+/// constant memory. The input format is sniffed from the magic bytes;
+/// `--lossy` resyncs past defective frames/records instead of failing.
+pub fn convert(args: &ArgMap) -> Result<(), CliError> {
+    let input = args.require("in")?.to_string();
+    let out = args.require("out")?.to_string();
+    let to = args.require("to")?.to_string();
+    let mode = trace_read_mode(args)?;
+    let frame_records: usize = args.get_or("frame-records", DEFAULT_FRAME_RECORDS)?;
+    if frame_records == 0 {
+        return Err(CliError::Usage(
+            "--frame-records must be at least 1".to_string(),
+        ));
+    }
+    // Lossy repair consults the program when one is supplied; without it,
+    // recovery is purely structural (frame/record resync).
+    let program = match args.get("program") {
+        Some(_) => Some(load_program(args)?),
+        None => None,
+    };
+    args.finish()?;
+
+    // Conversion is format-level (records are copied verbatim), so no
+    // program-fit validation is attached either way.
+    let mut source =
+        open_raw_source(&input, program.as_ref(), mode).map_err(|e| CliError::parse("trace", e))?;
+
+    let (records, warnings) = match to.as_str() {
+        "v1" => {
+            let mut w = V1Writer::new(create(&out)?).map_err(|e| CliError::parse("trace", e))?;
+            let summary = pump(&mut source, &mut w).map_err(|e| CliError::parse("trace", e))?;
+            let mut f = w.finish().map_err(|e| CliError::parse("trace", e))?;
+            f.flush()?;
+            (summary.records, summary.warnings)
+        }
+        "v2" => {
+            let mut w = V2Writer::with_frame_records(create(&out)?, frame_records)
+                .map_err(|e| CliError::parse("trace", e))?;
+            let summary = pump(&mut source, &mut w).map_err(|e| CliError::parse("trace", e))?;
+            let mut f = w.finish().map_err(|e| CliError::parse("trace", e))?;
+            f.flush()?;
+            (summary.records, summary.warnings)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--to must be v1 or v2, got `{other}`"
+            )))
+        }
+    };
+    if !warnings.is_clean() {
+        eprintln!("tempo-cli: warning: --in {input}: recovered ({warnings})");
+    }
+    println!("wrote {out}: {records} records ({to})");
     Ok(())
 }
 

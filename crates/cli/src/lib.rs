@@ -48,6 +48,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "profile" => commands::profile(&parsed),
         "place" => commands::place(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "convert" => commands::convert(&parsed),
         "analyze" => commands::analyze(&parsed),
         "trace-stats" => commands::trace_stats(&parsed),
         "compare" => commands::compare(&parsed),
@@ -71,8 +72,10 @@ commands:
             [--program FILE] [--trace FILE]
       synthesize a Table-1 benchmark program and/or trace
   profile   --program FILE --trace FILE [--cache SIZExLINExASSOC]
-            [--coverage F] [--pair-db] [--lossy|--strict] --out FILE
-      build WCG + TRGs from a trace
+            [--coverage F] [--pair-db] [--lossy|--strict]
+            [--stream] [--max-memory MB] --out FILE
+      build WCG + TRGs from a trace; --stream profiles in two
+      constant-memory passes without materializing the trace
   place     --program FILE --profile FILE --algorithm NAME --out FILE
             [--map FILE] [--budget-ms N] [--budget-work N]
       run a placement algorithm (default|random[:SEED]|ph|hkc|gbsc|gbsc-sa|
@@ -80,7 +83,13 @@ commands:
       budgets degrade requested -> ph -> identity on exhaustion
   simulate  --program FILE --layout FILE --trace FILE
             [--cache SIZExLINExASSOC] [--classify] [--lossy|--strict]
-      trace-driven miss simulation (optionally cold/capacity/conflict)
+            [--stream] [--max-memory MB]
+      trace-driven miss simulation (optionally cold/capacity/conflict);
+      --stream simulates in one constant-memory pass
+  convert   --in FILE --out FILE --to v1|v2 [--frame-records N]
+            [--program FILE] [--lossy|--strict]
+      transcode a trace between the v1 (fixed-record) and v2 (chunked,
+      CRC-framed, streamable) binary containers; input format is sniffed
   analyze   --program FILE --layout FILE [--profile FILE]
             [--cache SIZExLINExASSOC] [--format text|json]
             [--deny warnings] [--top N]
@@ -97,4 +106,7 @@ commands:
       `tempo-bench run-all`); writes results/ and BENCH_run.json
 
 trace reading defaults to --strict (reject corrupt traces); --lossy
-resyncs past defective records and prints a recovery summary to stderr";
+resyncs past defective records/frames and prints a recovery summary to
+stderr. Commands accepting --trace read both containers transparently.
+--max-memory MB refuses to materialize traces over the budget (pass
+--stream to process arbitrarily large traces in constant memory)";

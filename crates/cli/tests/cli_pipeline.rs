@@ -178,6 +178,197 @@ fn pair_db_profile_supports_sa_placement() {
 }
 
 #[test]
+fn convert_roundtrip_and_streaming_match_materialized() {
+    let dir = workdir("stream");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "m88ksim",
+        "--records",
+        "12000",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train.v1"),
+    ]))
+    .expect("generate");
+
+    // v1 -> v2 -> v1 round-trips byte-identically.
+    run(&cmd(&[
+        "convert",
+        "--in",
+        &p("train.v1"),
+        "--out",
+        &p("train.v2"),
+        "--to",
+        "v2",
+    ]))
+    .expect("convert to v2");
+    run(&cmd(&[
+        "convert",
+        "--in",
+        &p("train.v2"),
+        "--out",
+        &p("back.v1"),
+        "--to",
+        "v1",
+    ]))
+    .expect("convert back to v1");
+    let original = std::fs::read(p("train.v1")).unwrap();
+    let back = std::fs::read(p("back.v1")).unwrap();
+    assert_eq!(original, back, "v1 -> v2 -> v1 must round-trip");
+    let v2 = std::fs::read(p("train.v2")).unwrap();
+    assert!(v2.len() < original.len(), "v2 varint frames are denser");
+
+    // Streaming profile (from the v2 container) produces the identical
+    // profile file to the materialized run on the v1 container.
+    run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train.v1"),
+        "--out",
+        &p("materialized.profile"),
+    ]))
+    .expect("materialized profile");
+    run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train.v2"),
+        "--stream",
+        "--out",
+        &p("streamed.profile"),
+    ]))
+    .expect("streamed profile");
+    assert_eq!(
+        std::fs::read(p("materialized.profile")).unwrap(),
+        std::fs::read(p("streamed.profile")).unwrap(),
+        "streaming and materialized profiles must be byte-identical"
+    );
+
+    // Streaming simulate works against either container.
+    run(&cmd(&[
+        "place",
+        "--program",
+        &p("prog"),
+        "--profile",
+        &p("streamed.profile"),
+        "--algorithm",
+        "gbsc",
+        "--out",
+        &p("layout"),
+    ]))
+    .expect("place");
+    run(&cmd(&[
+        "simulate",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("layout"),
+        "--trace",
+        &p("train.v2"),
+        "--stream",
+    ]))
+    .expect("streamed simulate");
+
+    // --max-memory refuses to materialize a trace over budget and points
+    // at --stream; with --stream the same budget is satisfiable.
+    let err = run(&cmd(&[
+        "simulate",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("layout"),
+        "--trace",
+        &p("train.v1"),
+        "--max-memory",
+        "0",
+    ]))
+    .unwrap_err();
+    assert!(err.to_string().contains("--stream"), "{err}");
+    run(&cmd(&[
+        "simulate",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("layout"),
+        "--trace",
+        &p("train.v1"),
+        "--max-memory",
+        "0",
+        "--stream",
+    ]))
+    .expect("streaming satisfies any budget");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lossy_streaming_recovers_corrupt_v2_frames() {
+    let dir = workdir("lossyv2");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "m88ksim",
+        "--records",
+        "9000",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train.v1"),
+    ]))
+    .expect("generate");
+    run(&cmd(&[
+        "convert",
+        "--in",
+        &p("train.v1"),
+        "--out",
+        &p("train.v2"),
+        "--to",
+        "v2",
+        "--frame-records",
+        "500",
+    ]))
+    .expect("convert");
+
+    // Flip a payload byte mid-file: one frame's CRC breaks.
+    let mut bytes = std::fs::read(p("train.v2")).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(p("corrupt.v2"), &bytes).unwrap();
+
+    // Strict reading rejects it; lossy profiles what survives.
+    assert!(run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("corrupt.v2"),
+        "--stream",
+        "--out",
+        &p("strict.profile"),
+    ]))
+    .is_err());
+    run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("corrupt.v2"),
+        "--stream",
+        "--lossy",
+        "--out",
+        &p("lossy.profile"),
+    ]))
+    .expect("lossy streaming profile survives a corrupt frame");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn usage_errors_are_reported() {
     assert!(run(&[]).is_err());
     assert!(run(&cmd(&["frobnicate"])).is_err());

@@ -76,7 +76,7 @@ pub mod prelude {
     };
     pub use tempo_program::{ChunkId, Layout, ProcId, Program};
     pub use tempo_trace::io::TraceWarnings;
-    pub use tempo_trace::{Trace, TraceRecord};
+    pub use tempo_trace::{pump, MemorySource, Tee, Trace, TraceRecord, TraceSink, TraceSource};
     pub use tempo_trg::{PopularitySelector, ProfileData, ProfileWarnings, Profiler};
 
     pub use crate::{compare, Comparison, ProfiledSession, Session};

@@ -1,9 +1,10 @@
 //! The profile → place → evaluate pipeline.
 
-use tempo_cache::{simulate, CacheConfig, SimStats};
+use tempo_cache::{simulate, simulate_layouts_streamed, simulate_source, CacheConfig, SimStats};
 use tempo_place::{place_with_fallback, Budget, Degradation, PlacementAlgorithm, PlacementContext};
 use tempo_program::{Layout, Program};
-use tempo_trace::Trace;
+use tempo_trace::io::TraceIoError;
+use tempo_trace::{Trace, TraceSource};
 use tempo_trg::{PopularitySelector, ProfileData, ProfileWarnings, Profiler};
 
 /// Stage 1: a program plus profiling configuration.
@@ -66,6 +67,41 @@ impl<'p> Session<'p> {
             },
             warnings,
         )
+    }
+
+    /// Profiles a training stream in constant memory.
+    ///
+    /// Streaming profiling is inherently two-pass — the popular set must be
+    /// known before temporal edges can be accumulated — so the caller
+    /// supplies a factory that opens a *fresh* source over the same records
+    /// for each pass (reopen a file, rewind a buffer, or rebuild a
+    /// generator from its seed). Produces byte-identical [`ProfileData`] to
+    /// [`profile_lossy`](Session::profile_lossy) on the materialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error either source pass reports.
+    pub fn profile_with<S, F>(
+        self,
+        mut open: F,
+    ) -> Result<(ProfiledSession<'p>, ProfileWarnings), TraceIoError>
+    where
+        S: TraceSource,
+        F: FnMut() -> Result<S, TraceIoError>,
+    {
+        let popular = self.selector.select_source(self.program, open()?)?;
+        let (profile, warnings) = Profiler::new(self.program, self.cache)
+            .popularity(self.selector)
+            .with_pair_db(self.pair_db)
+            .with_popular(popular)
+            .profile_source(open()?)?;
+        Ok((
+            ProfiledSession {
+                program: self.program,
+                profile,
+            },
+            warnings,
+        ))
     }
 }
 
@@ -160,6 +196,38 @@ impl<'p> ProfiledSession<'p> {
     /// Simulates a layout against a trace on this session's cache.
     pub fn evaluate(&self, layout: &Layout, trace: &Trace) -> SimStats {
         simulate(self.program, layout, trace, self.profile.cache)
+    }
+
+    /// Simulates a layout against a [`TraceSource`] on this session's
+    /// cache — the streaming counterpart of
+    /// [`evaluate`](ProfiledSession::evaluate), in constant memory and
+    /// producing identical statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    pub fn evaluate_source<S: TraceSource>(
+        &self,
+        layout: &Layout,
+        source: S,
+    ) -> Result<SimStats, TraceIoError> {
+        simulate_source(self.program, layout, source, self.profile.cache)
+    }
+
+    /// Simulates several layouts against one *shared* pass over a
+    /// [`TraceSource`]: N layouts cost one trace read instead of N. Stats
+    /// come back in `layouts` order and match per-layout
+    /// [`evaluate`](ProfiledSession::evaluate) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    pub fn evaluate_layouts_streamed<S: TraceSource>(
+        &self,
+        layouts: &[Layout],
+        source: S,
+    ) -> Result<Vec<SimStats>, TraceIoError> {
+        simulate_layouts_streamed(self.program, layouts, source, self.profile.cache)
     }
 
     /// Returns a copy of this session with the profile's graphs perturbed
@@ -282,6 +350,34 @@ mod tests {
         let (full, d2) = session.place_budgeted(&Gbsc::new(), Budget::unlimited());
         assert!(!d2.is_degraded());
         assert_eq!(full, session.place(&Gbsc::new()));
+    }
+
+    #[test]
+    fn streaming_profile_and_evaluate_match_materialized() {
+        use tempo_trace::MemorySource;
+        let (program, trace) = setup();
+        let materialized = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let (streamed, warnings) = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile_with(|| Ok(MemorySource::new(&trace)))
+            .unwrap();
+        assert!(warnings.is_clean());
+        assert_eq!(streamed.profile(), materialized.profile());
+        let layout = materialized.place(&Gbsc::new());
+        let sm = materialized.evaluate(&layout, &trace);
+        let ss = streamed
+            .evaluate_source(&layout, MemorySource::new(&trace))
+            .unwrap();
+        assert_eq!(sm, ss);
+        let both = streamed
+            .evaluate_layouts_streamed(
+                &[layout.clone(), Layout::source_order(&program)],
+                MemorySource::new(&trace),
+            )
+            .unwrap();
+        assert_eq!(both[0], sm);
     }
 
     #[test]

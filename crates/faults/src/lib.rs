@@ -13,10 +13,14 @@
 //! seed always produces the same corruption, so a failing matrix cell can
 //! be replayed in isolation.
 //!
-//! The injectors operate on the serialized form documented in
-//! `tempo-trace::io`: a 16-byte header (`TMPO` magic, version `u32` LE,
-//! record count `u64` LE) followed by fixed 8-byte records (proc `u32` LE,
-//! bytes `u32` LE).
+//! The injectors operate on serialized bytes, so they apply to both
+//! trace containers. The v1 form documented in `tempo-trace::io` is a
+//! 16-byte header (`TMPO` magic, version `u32` LE, record count `u64` LE)
+//! followed by fixed 8-byte records (proc `u32` LE, bytes `u32` LE). The
+//! v2 form documented in `tempo-trace::v2` is an 8-byte preamble (`TMP2`
+//! magic, version `u32` LE) followed by CRC-framed chunks of varint
+//! records; [`FaultClass::FrameMangle`] targets the region past that
+//! preamble so v2 frame headers and payloads get corrupted too.
 
 // In the test build, `unwrap` IS the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
@@ -30,6 +34,9 @@ pub const HEADER_LEN: usize = 16;
 
 /// Serialized record length: proc id (4) + byte extent (4).
 pub const RECORD_LEN: usize = 8;
+
+/// v2 container preamble length: magic (4) + version (4).
+pub const HEADER_LEN_V2: usize = 8;
 
 /// One class of trace corruption the injectors can synthesize.
 ///
@@ -57,17 +64,23 @@ pub enum FaultClass {
     /// Rewrites the proc-id field of up to four records to values no
     /// program defines — a stale symbol table or id-space mismatch.
     ProcIdRemap,
+    /// XORs one byte past the 8-byte v2 preamble — lands in a frame
+    /// header or varint payload, breaking exactly one frame's CRC (on
+    /// the v1 container the same offsets cover the declared count and
+    /// the record array).
+    FrameMangle,
 }
 
 impl FaultClass {
     /// Every fault class, for matrix-style iteration.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::Truncate,
         FaultClass::BitFlip,
         FaultClass::RecordSplice,
         FaultClass::HeaderMangle,
         FaultClass::StackUnbalance,
         FaultClass::ProcIdRemap,
+        FaultClass::FrameMangle,
     ];
 
     /// Stable lowercase name, used in test output and CI logs.
@@ -79,6 +92,7 @@ impl FaultClass {
             FaultClass::HeaderMangle => "header-mangle",
             FaultClass::StackUnbalance => "stack-unbalance",
             FaultClass::ProcIdRemap => "proc-id-remap",
+            FaultClass::FrameMangle => "frame-mangle",
         }
     }
 
@@ -147,6 +161,13 @@ impl FaultClass {
                         let bogus: u32 = 0xFFFF_0000 | rng.gen_range(0..0xFFFF_u32);
                         out[start..start + 4].copy_from_slice(&bogus.to_le_bytes());
                     }
+                }
+            }
+            FaultClass::FrameMangle => {
+                if out.len() > HEADER_LEN_V2 {
+                    let i = rng.gen_range(HEADER_LEN_V2..out.len());
+                    let mask: u8 = rng.gen_range(1..=255);
+                    out[i] ^= mask;
                 }
             }
         }

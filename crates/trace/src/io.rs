@@ -24,10 +24,11 @@
 
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, Read, Write};
+use std::io::{BufRead, Read, Seek, SeekFrom, Write};
 
 use tempo_program::{ProcId, Program};
 
+use crate::source::TraceSource;
 use crate::{Trace, TraceRecord};
 
 /// Magic bytes opening the binary trace format.
@@ -39,8 +40,9 @@ pub const VERSION: u32 = 1;
 /// count. The count is untrusted input — a mangled header could declare
 /// `u64::MAX` records and turn a 24-byte file into an allocation abort —
 /// so readers reserve at most this much up front and let the vector grow
-/// normally past it.
-const PREALLOC_CAP: u64 = 1 << 20;
+/// normally past it. [`crate::TraceBuilder::with_capacity`] applies the
+/// same ceiling to caller-declared lengths.
+pub(crate) const PREALLOC_CAP: u64 = 1 << 20;
 
 /// Errors produced while reading or writing traces.
 #[derive(Debug)]
@@ -69,6 +71,12 @@ pub enum TraceIoError {
         /// 0-based record index.
         index: u64,
     },
+    /// A v2 frame failed validation: truncated header or payload, CRC
+    /// mismatch, or a record that does not decode.
+    CorruptFrame {
+        /// 0-based frame index.
+        frame: u64,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -88,6 +96,12 @@ impl fmt::Display for TraceIoError {
             TraceIoError::BadLine { line } => write!(f, "malformed trace text at line {line}"),
             TraceIoError::ZeroExtent { index } => {
                 write!(f, "record {index} has a zero byte extent")
+            }
+            TraceIoError::CorruptFrame { frame } => {
+                write!(
+                    f,
+                    "frame {frame} is corrupt (truncated, bad CRC, or undecodable)"
+                )
             }
         }
     }
@@ -134,6 +148,97 @@ pub fn write_binary<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoErro
     Ok(())
 }
 
+/// An incremental v1 writer: streams records to a seekable writer without
+/// materializing the trace, patching the header's record count on
+/// [`finish`](V1Writer::finish).
+///
+/// The v1 header carries the record count up front, so a purely sequential
+/// writer cannot stream it; this writer emits a zero count, appends records
+/// as they arrive, and seeks back once the stream ends. Output is
+/// byte-identical to [`write_binary`] of the materialized trace. Use
+/// [`crate::v2::V2Writer`] when the destination cannot seek.
+///
+/// As a [`crate::TraceSink`] it latches the first I/O error and reports it
+/// from `finish` (sinks are infallible by contract).
+#[derive(Debug)]
+pub struct V1Writer<W: Write + Seek> {
+    w: W,
+    buf: Vec<u8>,
+    records: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write + Seek> V1Writer<W> {
+    /// Starts a v1 stream on `w` (writes the header immediately).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut w: W) -> Result<Self, TraceIoError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?;
+        Ok(V1Writer {
+            w,
+            buf: Vec::with_capacity(64 * 1024),
+            records: 0,
+            error: None,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn push(&mut self, record: &TraceRecord) -> Result<(), TraceIoError> {
+        self.buf
+            .extend_from_slice(&record.proc.index().to_le_bytes());
+        self.buf.extend_from_slice(&record.bytes.to_le_bytes());
+        self.records += 1;
+        if self.buf.len() >= 64 * 1024 - 8 {
+            self.w.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes buffered records, patches the header count, and returns the
+    /// underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error latched by the [`crate::TraceSink`] path, then
+    /// propagates flush/seek errors.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        if let Some(e) = self.error.take() {
+            return Err(e.into());
+        }
+        self.w.write_all(&self.buf)?;
+        // The count sits after the 4-byte magic and 4-byte version.
+        self.w.seek(SeekFrom::Start(8))?;
+        self.w.write_all(&self.records.to_le_bytes())?;
+        self.w.seek(SeekFrom::End(0))?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write + Seek> crate::TraceSink for V1Writer<W> {
+    fn accept(&mut self, record: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(TraceIoError::Io(e)) = self.push(record) {
+            self.error = Some(e);
+        }
+    }
+}
+
 /// Reads a trace in the binary format.
 ///
 /// A `&mut` reference to any reader can be passed.
@@ -142,42 +247,15 @@ pub fn write_binary<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoErro
 ///
 /// Fails on I/O errors, bad magic, unsupported versions, truncation, or
 /// zero-extent records.
-pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(TraceIoError::BadMagic);
-    }
-    let mut word = [0u8; 4];
-    r.read_exact(&mut word)?;
-    let version = u32::from_le_bytes(word);
-    if version != VERSION {
-        return Err(TraceIoError::UnsupportedVersion(version));
-    }
-    let mut dword = [0u8; 8];
-    r.read_exact(&mut dword)?;
-    let count = u64::from_le_bytes(dword);
+pub fn read_binary<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let mut source = V1Source::new(r)?;
     // The declared count is untrusted input: cap the preallocation so a
     // corrupt header cannot trigger an allocation abort. The vector still
     // grows to the real record count.
-    let mut records = Vec::with_capacity(usize::try_from(count.min(PREALLOC_CAP)).unwrap_or(0));
-    let mut rec = [0u8; 8];
-    for i in 0..count {
-        if let Err(e) = r.read_exact(&mut rec) {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                return Err(TraceIoError::Truncated {
-                    expected: count,
-                    found: i,
-                });
-            }
-            return Err(e.into());
-        }
-        let proc = u32::from_le_bytes(rec[0..4].try_into().expect("slice is 4 bytes"));
-        let bytes = u32::from_le_bytes(rec[4..8].try_into().expect("slice is 4 bytes"));
-        if bytes == 0 {
-            return Err(TraceIoError::ZeroExtent { index: i });
-        }
-        records.push(TraceRecord::new(ProcId::new(proc), bytes));
+    let cap = source.expected_records().unwrap_or(0).min(PREALLOC_CAP);
+    let mut records = Vec::with_capacity(usize::try_from(cap).unwrap_or(0));
+    while let Some(rec) = source.try_next()? {
+        records.push(rec);
     }
     Ok(Trace::from_records(records))
 }
@@ -214,6 +292,9 @@ pub struct TraceWarnings {
     pub truncated_tail: u64,
     /// Unparsable text-format lines that were skipped.
     pub bad_lines: u64,
+    /// Whole v2 frames skipped because they were truncated, failed their
+    /// CRC, or did not decode.
+    pub bad_frames: u64,
 }
 
 impl TraceWarnings {
@@ -231,6 +312,7 @@ impl TraceWarnings {
             + self.clamped_extent
             + self.truncated_tail
             + self.bad_lines
+            + self.bad_frames
     }
 }
 
@@ -248,6 +330,7 @@ impl fmt::Display for TraceWarnings {
             (self.clamped_extent, "clamped-extent"),
             (self.truncated_tail, "truncated-tail"),
             (self.bad_lines, "bad-line"),
+            (self.bad_frames, "bad-frame"),
         ] {
             if count > 0 {
                 write!(f, "{sep}{count} {label}")?;
@@ -260,7 +343,7 @@ impl fmt::Display for TraceWarnings {
 
 /// Reads as many bytes as the reader can supply into `buf`, retrying on
 /// interrupts. Returns how many bytes were filled (short only at EOF).
-fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+pub(crate) fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
@@ -288,66 +371,224 @@ fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
 /// Fails only on genuine I/O errors from the reader; all format defects are
 /// reported through [`TraceWarnings`].
 pub fn read_binary_lossy<R: Read>(
-    mut r: R,
+    r: R,
     program: Option<&Program>,
 ) -> Result<(Trace, TraceWarnings), TraceIoError> {
-    let mut warnings = TraceWarnings::default();
-    let mut header = [0u8; 16];
-    let filled = read_fully(&mut r, &mut header)?;
-    if filled < header.len() {
-        // Not even a whole header: nothing recoverable.
-        if filled > 0 {
+    let mut source = V1Source::new_lossy(r, program)?;
+    let mut records = Vec::new();
+    while let Some(rec) = source.try_next()? {
+        records.push(rec);
+    }
+    Ok((Trace::from_records(records), source.warnings()))
+}
+
+/// Applies the shared lossy per-record repairs: zero extents and (when a
+/// program is given) unknown procedures are dropped with a tally, oversized
+/// extents are clamped. Returns `None` when the record is dropped.
+pub(crate) fn repair_record(
+    proc: u32,
+    mut bytes: u32,
+    program: Option<&Program>,
+    warnings: &mut TraceWarnings,
+) -> Option<TraceRecord> {
+    if bytes == 0 {
+        warnings.zero_extent += 1;
+        return None;
+    }
+    let proc = ProcId::new(proc);
+    if let Some(p) = program {
+        if proc.as_usize() >= p.len() {
+            warnings.unknown_proc += 1;
+            return None;
+        }
+        let size = p.size_of(proc);
+        if bytes > size {
+            warnings.clamped_extent += 1;
+            bytes = size;
+        }
+    }
+    Some(TraceRecord::new(proc, bytes))
+}
+
+/// Streaming reader for the fixed-width v1 binary format.
+///
+/// Yields records one at a time without materializing the trace, in either
+/// [`ReadMode`]: strict construction validates the header and `try_next`
+/// fails on the first defect with exactly the errors [`read_binary`]
+/// produces; lossy construction treats the header as advisory and repairs
+/// or skips defective records, tallying them in
+/// [`warnings`](TraceSource::warnings) with exactly the semantics of
+/// [`read_binary_lossy`] (both materializing readers are thin wrappers over
+/// this source).
+#[derive(Debug)]
+pub struct V1Source<'p, R> {
+    reader: R,
+    mode: ReadMode,
+    program: Option<&'p Program>,
+    /// Records declared by the header (advisory in lossy mode).
+    declared: u64,
+    /// Whole 8-byte records consumed from the input so far.
+    raw_records: u64,
+    warnings: TraceWarnings,
+    done: bool,
+}
+
+impl<R: Read> V1Source<'static, R> {
+    /// Opens a strict streaming reader, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, bad magic, or an unsupported version.
+    pub fn new(mut r: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        let mut word = [0u8; 4];
+        r.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != VERSION {
+            return Err(TraceIoError::UnsupportedVersion(version));
+        }
+        let mut dword = [0u8; 8];
+        r.read_exact(&mut dword)?;
+        let declared = u64::from_le_bytes(dword);
+        Ok(V1Source {
+            reader: r,
+            mode: ReadMode::Strict,
+            program: None,
+            declared,
+            raw_records: 0,
+            warnings: TraceWarnings::default(),
+            done: false,
+        })
+    }
+}
+
+impl<'p, R: Read> V1Source<'p, R> {
+    /// Opens a lossy streaming reader: the header is advisory, defects are
+    /// repaired or skipped and tallied. When `program` is given, unknown
+    /// procedures are dropped and oversized extents clamped, so every
+    /// yielded record is valid for that program.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on genuine I/O errors from the reader.
+    pub fn new_lossy(mut r: R, program: Option<&'p Program>) -> Result<Self, TraceIoError> {
+        let mut warnings = TraceWarnings::default();
+        let mut header = [0u8; 16];
+        let filled = read_fully(&mut r, &mut header)?;
+        if filled < header.len() {
+            // Not even a whole header: nothing recoverable.
+            if filled > 0 {
+                warnings.header_mangled += 1;
+            }
+            return Ok(V1Source {
+                reader: r,
+                mode: ReadMode::Lossy,
+                program,
+                declared: 0,
+                raw_records: 0,
+                warnings,
+                done: true,
+            });
+        }
+        if header[0..4] != MAGIC {
             warnings.header_mangled += 1;
         }
-        return Ok((Trace::new(), warnings));
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("slice is 4 bytes"));
+        if version != VERSION && header[0..4] == MAGIC {
+            warnings.header_mangled += 1;
+        }
+        let declared = u64::from_le_bytes(header[8..16].try_into().expect("slice is 8 bytes"));
+        Ok(V1Source {
+            reader: r,
+            mode: ReadMode::Lossy,
+            program,
+            declared,
+            raw_records: 0,
+            warnings,
+            done: false,
+        })
     }
-    if header[0..4] != MAGIC {
-        warnings.header_mangled += 1;
-    }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("slice is 4 bytes"));
-    if version != VERSION && header[0..4] == MAGIC {
-        warnings.header_mangled += 1;
-    }
-    let declared = u64::from_le_bytes(header[8..16].try_into().expect("slice is 8 bytes"));
 
-    // The declared count is advisory (a bit flip can make it absurd), so
-    // cap the preallocation and simply read until end of input.
-    let cap = usize::try_from(declared.min(PREALLOC_CAP)).unwrap_or(0);
-    let mut records = Vec::with_capacity(cap);
-    let mut raw_records: u64 = 0;
-    let mut rec = [0u8; 8];
-    loop {
-        let n = read_fully(&mut r, &mut rec)?;
-        if n == 0 {
-            break;
-        }
-        if n < rec.len() {
-            warnings.truncated_tail += 1;
-            break;
-        }
-        raw_records += 1;
-        let proc = u32::from_le_bytes(rec[0..4].try_into().expect("slice is 4 bytes"));
-        let mut bytes = u32::from_le_bytes(rec[4..8].try_into().expect("slice is 4 bytes"));
-        if bytes == 0 {
-            warnings.zero_extent += 1;
-            continue;
-        }
-        let proc = ProcId::new(proc);
-        if let Some(p) = program {
-            if proc.as_usize() >= p.len() {
-                warnings.unknown_proc += 1;
-                continue;
-            }
-            let size = p.size_of(proc);
-            if bytes > size {
-                warnings.clamped_extent += 1;
-                bytes = size;
+    /// Marks the stream exhausted, reconciling the declared count.
+    fn finish_stream(&mut self) {
+        if !self.done {
+            self.done = true;
+            if self.mode == ReadMode::Lossy {
+                self.warnings.count_mismatch += self.declared.abs_diff(self.raw_records);
             }
         }
-        records.push(TraceRecord::new(proc, bytes));
     }
-    warnings.count_mismatch += declared.abs_diff(raw_records);
-    Ok((Trace::from_records(records), warnings))
+}
+
+impl<R: Read> TraceSource for V1Source<'_, R> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        let mut rec = [0u8; 8];
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.mode == ReadMode::Strict && self.raw_records == self.declared {
+                // Strict readers stop at the declared count, ignoring any
+                // trailing bytes.
+                self.finish_stream();
+                return Ok(None);
+            }
+            let n = read_fully(&mut self.reader, &mut rec)?;
+            if n == 0 {
+                if self.mode == ReadMode::Strict {
+                    self.done = true;
+                    return Err(TraceIoError::Truncated {
+                        expected: self.declared,
+                        found: self.raw_records,
+                    });
+                }
+                self.finish_stream();
+                return Ok(None);
+            }
+            if n < rec.len() {
+                if self.mode == ReadMode::Strict {
+                    self.done = true;
+                    return Err(TraceIoError::Truncated {
+                        expected: self.declared,
+                        found: self.raw_records,
+                    });
+                }
+                self.warnings.truncated_tail += 1;
+                self.finish_stream();
+                return Ok(None);
+            }
+            self.raw_records += 1;
+            let proc = u32::from_le_bytes(rec[0..4].try_into().expect("slice is 4 bytes"));
+            let bytes = u32::from_le_bytes(rec[4..8].try_into().expect("slice is 4 bytes"));
+            if self.mode == ReadMode::Strict {
+                if bytes == 0 {
+                    self.done = true;
+                    return Err(TraceIoError::ZeroExtent {
+                        index: self.raw_records - 1,
+                    });
+                }
+                return Ok(Some(TraceRecord::new(ProcId::new(proc), bytes)));
+            }
+            if let Some(r) = repair_record(proc, bytes, self.program, &mut self.warnings) {
+                return Ok(Some(r));
+            }
+        }
+    }
+
+    fn warnings(&self) -> TraceWarnings {
+        self.warnings
+    }
+
+    fn expected_records(&self) -> Option<u64> {
+        match self.mode {
+            ReadMode::Strict => Some(self.declared),
+            ReadMode::Lossy => None,
+        }
+    }
 }
 
 /// Reads a text trace, skipping defective lines instead of failing.
@@ -468,6 +709,24 @@ mod tests {
         assert_eq!(&buf[0..4], b"TMPO");
         let back = read_binary(buf.as_slice()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v1_writer_streams_byte_identical_output() {
+        let t = sample_trace();
+        let mut materialized = Vec::new();
+        write_binary(&mut materialized, &t).unwrap();
+        let mut w = V1Writer::new(std::io::Cursor::new(Vec::new())).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        assert_eq!(w.records(), t.len() as u64);
+        let streamed = w.finish().unwrap().into_inner();
+        assert_eq!(streamed, materialized);
+        // The sink path produces the same bytes.
+        let mut w = V1Writer::new(std::io::Cursor::new(Vec::new())).unwrap();
+        crate::pump(&mut crate::MemorySource::new(&t), &mut w).unwrap();
+        assert_eq!(w.finish().unwrap().into_inner(), materialized);
     }
 
     #[test]

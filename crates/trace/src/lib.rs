@@ -8,8 +8,14 @@
 //!   one control-flow transition *into* a procedure together with the number
 //!   of bytes executed before the next transition, which is what a
 //!   line-accurate instruction-cache simulation needs.
-//! * [`io`] — a compact, versioned binary format plus a human-readable text
-//!   format for traces.
+//! * [`source`] — the streaming dataflow vocabulary: [`TraceSource`]
+//!   producers, [`TraceSink`] consumers, the [`pump`] driver loop, and
+//!   [`Tee`] fan-out, so pipelines process traces of any length in
+//!   constant memory (DESIGN.md §10).
+//! * [`io`] — the v1 binary container (fixed records, count up front) plus
+//!   a human-readable text format; strict and lossy streaming readers.
+//! * [`v2`] — the v2 chunked binary container: CRC-framed blocks of varint
+//!   records, streamable and lossy-recoverable frame by frame.
 //! * [`stats`] — the small statistical samplers (normal, lognormal, Zipf)
 //!   used by the workload substrate and the profile-perturbation machinery,
 //!   implemented in-repo so the only randomness dependency is `rand`.
@@ -41,7 +47,10 @@
 
 pub mod analysis;
 pub mod io;
+pub mod source;
 pub mod stats;
 mod trace;
+pub mod v2;
 
+pub use source::{pump, MemorySource, PumpSummary, Tee, TraceSink, TraceSource};
 pub use trace::{Trace, TraceBuilder, TraceRecord, TraceStats};

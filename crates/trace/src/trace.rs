@@ -104,7 +104,11 @@ impl Trace {
     }
 
     /// Summary statistics for reporting (Table 1 style).
-    pub fn stats(&self, _program: &Program) -> TraceStats {
+    ///
+    /// Purely trace-derived — no [`Program`] is needed. Use
+    /// [`crate::source::StatsSink`] to compute the same statistics from a
+    /// stream without materializing the trace.
+    pub fn stats(&self) -> TraceStats {
         let mut counts: HashMap<ProcId, u64> = HashMap::new();
         let mut total_bytes = 0u64;
         for r in &self.records {
@@ -204,10 +208,17 @@ impl<'p> TraceBuilder<'p> {
     }
 
     /// Creates a builder with capacity for `n` records.
+    ///
+    /// The requested capacity is a hint: it is clamped to the same
+    /// preallocation ceiling the trace readers apply to untrusted header
+    /// counts, so a caller-supplied length (a CLI flag, a workload spec)
+    /// cannot turn into an allocation abort. The vector still grows
+    /// normally past the ceiling.
     pub fn with_capacity(program: &'p Program, n: usize) -> Self {
+        let ceiling = usize::try_from(crate::io::PREALLOC_CAP).unwrap_or(usize::MAX);
         TraceBuilder {
             program,
-            records: Vec::with_capacity(n),
+            records: Vec::with_capacity(n.min(ceiling)),
         }
     }
 
@@ -318,7 +329,7 @@ mod tests {
     fn stats_summarize() {
         let p = prog();
         let t = Trace::from_full_records(&p, [ProcId::new(0), ProcId::new(1)]);
-        let s = t.stats(&p);
+        let s = t.stats();
         assert_eq!(s.records, 2);
         assert_eq!(s.distinct_procs, 2);
         assert_eq!(s.executed_bytes, 150);
@@ -346,7 +357,7 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
         t.validate(&p).unwrap();
-        let s = t.stats(&p);
+        let s = t.stats();
         assert_eq!(s.records, 0);
         assert_eq!(s.distinct_procs, 0);
     }

@@ -1,0 +1,801 @@
+//! Chunked binary trace format **v2**: length-delimited frames of
+//! varint-encoded records with per-frame CRCs.
+//!
+//! The v1 format is a single fixed-width record array behind a declared
+//! count — simple, but it cannot be validated incrementally and a reader
+//! that wants integrity checking must hold the whole trace. Format v2 is
+//! built for streaming:
+//!
+//! ```text
+//! +---------------------------------------------------------------+
+//! | magic "TMP2" (4) | version u32 LE (= 2)                       |
+//! +---------------------------------------------------------------+
+//! | frame 0: payload_len u32 | record_count u32 | crc32 u32       |
+//! |          payload: record_count × (varint proc, varint bytes)  |
+//! +---------------------------------------------------------------+
+//! | frame 1: ...                                                  |
+//! +---------------------------------------------------------------+
+//! | ... until end of input (no trailing count)                    |
+//! +---------------------------------------------------------------+
+//! ```
+//!
+//! * **Streamable**: a reader holds one frame (≤ [`MAX_FRAME_PAYLOAD`]
+//!   bytes) at a time; end of input at a frame boundary ends the trace, so
+//!   no up-front record count is needed and writers can append forever.
+//! * **Compact**: records are LEB128 varints, so the common small
+//!   procedure-id/extent pairs take 2–4 bytes instead of v1's fixed 8.
+//! * **Verifiable and recoverable**: each frame carries a CRC-32 (IEEE) of
+//!   its payload. Strict readers fail on the first bad frame
+//!   ([`TraceIoError::CorruptFrame`]); lossy readers skip exactly that
+//!   frame — the length prefix bounds the damage — and tally it in
+//!   [`TraceWarnings::bad_frames`].
+//!
+//! ```
+//! use tempo_program::ProcId;
+//! use tempo_trace::{Trace, TraceRecord, TraceSource};
+//! use tempo_trace::v2::{read_binary_v2, write_binary_v2, V2Source};
+//!
+//! let trace = Trace::from_records(vec![TraceRecord::new(ProcId::new(3), 40)]);
+//! let mut buf = Vec::new();
+//! write_binary_v2(&mut buf, &trace)?;
+//! assert_eq!(read_binary_v2(buf.as_slice())?, trace);
+//!
+//! // Or stream it, one record at a time:
+//! let mut src = V2Source::new(buf.as_slice())?;
+//! assert_eq!(src.try_next()?, Some(TraceRecord::new(ProcId::new(3), 40)));
+//! assert_eq!(src.try_next()?, None);
+//! # Ok::<(), tempo_trace::io::TraceIoError>(())
+//! ```
+
+use std::io::{Read, Write};
+
+use tempo_program::Program;
+
+use crate::io::{repair_record, ReadMode, TraceIoError, TraceWarnings};
+use crate::source::{TraceSink, TraceSource};
+use crate::{Trace, TraceRecord};
+
+/// Magic bytes opening the v2 binary trace format.
+pub const MAGIC_V2: [u8; 4] = *b"TMP2";
+/// Format version recorded in the v2 header.
+pub const VERSION_V2: u32 = 2;
+/// Frame header size: `payload_len` + `record_count` + `crc32`.
+pub const FRAME_HEADER_LEN: usize = 12;
+/// Records per frame the writer targets. Worst-case varint payload is
+/// 10 bytes per record, so frames stay under 64 KiB.
+pub const DEFAULT_FRAME_RECORDS: usize = 6000;
+/// Upper bound on a frame's declared payload length. The length prefix is
+/// untrusted input; anything larger is treated as corruption rather than
+/// allocated.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        #[allow(clippy::cast_possible_truncation)] // i < 256
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the checksum protecting each v2 frame.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// LEB128 varints
+// ---------------------------------------------------------------------
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 u32 from `buf` starting at `*pos`, advancing `*pos`.
+/// Returns `None` on truncation or overflow (more than 5 bytes / high bits
+/// set past 32).
+fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let low = u32::from(byte & 0x7F);
+        if shift == 28 && low > 0x0F {
+            return None; // would overflow 32 bits
+        }
+        if shift > 28 {
+            return None;
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Streaming v2 writer.
+///
+/// Writes the header on construction, buffers records into frames of
+/// [`DEFAULT_FRAME_RECORDS`], and emits each frame with its CRC as it
+/// fills. As a [`TraceSink`] it is infallible per the sink contract: I/O
+/// errors are latched and surfaced by [`finish`](V2Writer::finish), which
+/// must be called to flush the final partial frame.
+pub struct V2Writer<W: Write> {
+    writer: W,
+    payload: Vec<u8>,
+    frame_records: u32,
+    records_per_frame: usize,
+    records: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> V2Writer<W> {
+    /// Starts a v2 stream, writing the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(w: W) -> Result<Self, TraceIoError> {
+        V2Writer::with_frame_records(w, DEFAULT_FRAME_RECORDS)
+    }
+
+    /// Starts a v2 stream with a custom frame granularity (min 1 record).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn with_frame_records(mut w: W, records_per_frame: usize) -> Result<Self, TraceIoError> {
+        w.write_all(&MAGIC_V2)?;
+        w.write_all(&VERSION_V2.to_le_bytes())?;
+        Ok(V2Writer {
+            writer: w,
+            payload: Vec::new(),
+            frame_records: 0,
+            records_per_frame: records_per_frame.max(1),
+            records: 0,
+            error: None,
+        })
+    }
+
+    /// Appends one record, flushing a frame when it fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn push(&mut self, record: &TraceRecord) -> Result<(), TraceIoError> {
+        push_varint(&mut self.payload, record.proc.index());
+        push_varint(&mut self.payload, record.bytes);
+        self.frame_records += 1;
+        self.records += 1;
+        if self.frame_records as usize >= self.records_per_frame {
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+
+    fn flush_frame(&mut self) -> Result<(), TraceIoError> {
+        if self.frame_records == 0 {
+            return Ok(());
+        }
+        let len = u32::try_from(self.payload.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "frame payload overflow")
+        })?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&self.frame_records.to_le_bytes())?;
+        self.writer.write_all(&crc32(&self.payload).to_le_bytes())?;
+        self.writer.write_all(&self.payload)?;
+        self.payload.clear();
+        self.frame_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the final partial frame and returns the writer, or the
+    /// first error latched through the [`TraceSink`] path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        if let Some(e) = self.error.take() {
+            return Err(e.into());
+        }
+        self.flush_frame()?;
+        Ok(self.writer)
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+impl<W: Write> TraceSink for V2Writer<W> {
+    fn accept(&mut self, record: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(TraceIoError::Io(e)) = self.push(record) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Writes a whole trace in the v2 format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_binary_v2<W: Write>(w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    let mut writer = V2Writer::new(w)?;
+    for r in trace.iter() {
+        writer.push(r)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Streaming v2 reader, strict or lossy.
+///
+/// Holds one frame in memory at a time, so memory use is bounded by
+/// [`MAX_FRAME_PAYLOAD`] regardless of trace length. Strict readers fail
+/// on the first defective frame; lossy readers skip defective frames
+/// (tallying [`TraceWarnings::bad_frames`]) and apply the shared per-record
+/// repairs (zero extents dropped, unknown procedures dropped and oversized
+/// extents clamped when a [`Program`] is supplied).
+#[derive(Debug)]
+pub struct V2Source<'p, R> {
+    reader: R,
+    mode: ReadMode,
+    program: Option<&'p Program>,
+    /// Decoded records of the current frame, drained front to back.
+    frame: Vec<TraceRecord>,
+    /// Next index to yield from `frame`.
+    cursor: usize,
+    /// 0-based index of the next frame to read.
+    frame_index: u64,
+    /// Global index of the next record (strict error reporting).
+    record_index: u64,
+    warnings: TraceWarnings,
+    done: bool,
+}
+
+impl<R: Read> V2Source<'static, R> {
+    /// Opens a strict streaming reader, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, bad magic, or an unsupported version.
+    pub fn new(mut r: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC_V2 {
+            return Err(TraceIoError::BadMagic);
+        }
+        let mut word = [0u8; 4];
+        r.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != VERSION_V2 {
+            return Err(TraceIoError::UnsupportedVersion(version));
+        }
+        Ok(V2Source {
+            reader: r,
+            mode: ReadMode::Strict,
+            program: None,
+            frame: Vec::new(),
+            cursor: 0,
+            frame_index: 0,
+            record_index: 0,
+            warnings: TraceWarnings::default(),
+            done: false,
+        })
+    }
+}
+
+impl<'p, R: Read> V2Source<'p, R> {
+    /// Opens a lossy streaming reader: a mangled header is tallied, corrupt
+    /// frames are skipped, and per-record defects are repaired against
+    /// `program` when given.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on genuine I/O errors from the reader.
+    pub fn new_lossy(mut r: R, program: Option<&'p Program>) -> Result<Self, TraceIoError> {
+        let mut warnings = TraceWarnings::default();
+        let mut header = [0u8; 8];
+        let filled = crate::io::read_fully(&mut r, &mut header)?;
+        let mut done = false;
+        if filled < header.len() {
+            if filled > 0 {
+                warnings.header_mangled += 1;
+            }
+            done = true;
+        } else {
+            if header[0..4] != MAGIC_V2 {
+                warnings.header_mangled += 1;
+            }
+            let version = u32::from_le_bytes(header[4..8].try_into().expect("slice is 4 bytes"));
+            if version != VERSION_V2 && header[0..4] == MAGIC_V2 {
+                warnings.header_mangled += 1;
+            }
+        }
+        Ok(V2Source {
+            reader: r,
+            mode: ReadMode::Lossy,
+            program,
+            frame: Vec::new(),
+            cursor: 0,
+            frame_index: 0,
+            record_index: 0,
+            warnings,
+            done,
+        })
+    }
+
+    /// Reads and decodes the next frame into `self.frame`. Returns `false`
+    /// at clean end of input. Lossy mode skips corrupt frames (leaving
+    /// `self.frame` empty) and reports them via warnings; the caller loops.
+    fn load_frame(&mut self) -> Result<bool, TraceIoError> {
+        self.frame.clear();
+        self.cursor = 0;
+        let index = self.frame_index;
+
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        let filled = crate::io::read_fully(&mut self.reader, &mut header)?;
+        if filled == 0 {
+            self.done = true;
+            return Ok(false);
+        }
+        if filled < header.len() {
+            return self.frame_defect(index, /* skippable */ false);
+        }
+        let payload_len = u32::from_le_bytes(header[0..4].try_into().expect("slice is 4 bytes"));
+        let record_count = u32::from_le_bytes(header[4..8].try_into().expect("slice is 4 bytes"));
+        let crc = u32::from_le_bytes(header[8..12].try_into().expect("slice is 4 bytes"));
+        if payload_len > MAX_FRAME_PAYLOAD {
+            // The length prefix itself is untrustworthy: resync is
+            // impossible, so even lossy readers stop here.
+            return self.frame_defect(index, false);
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        let filled = crate::io::read_fully(&mut self.reader, &mut payload)?;
+        if filled < payload.len() {
+            return self.frame_defect(index, false);
+        }
+        self.frame_index += 1;
+        if crc32(&payload) != crc {
+            return self.frame_defect(index, true);
+        }
+        // The declared record count is untrusted too: every record takes at
+        // least two payload bytes, so a count the payload cannot hold is
+        // corruption, not an allocation request.
+        if u64::from(record_count) * 2 > payload_len as u64 {
+            return self.frame_defect(index, true);
+        }
+
+        // Decode the whole frame up front so a malformed record invalidates
+        // the frame atomically (the CRC passed, so this only fires on
+        // writer bugs or collisions).
+        let mut pos = 0usize;
+        let mut decoded = Vec::with_capacity(record_count as usize);
+        for _ in 0..record_count {
+            let (Some(proc), Some(bytes)) = (
+                read_varint(&payload, &mut pos),
+                read_varint(&payload, &mut pos),
+            ) else {
+                return self.frame_defect(index, true);
+            };
+            decoded.push((proc, bytes));
+        }
+        if pos != payload.len() {
+            return self.frame_defect(index, true);
+        }
+        for (proc, bytes) in decoded {
+            match self.mode {
+                ReadMode::Strict => {
+                    if bytes == 0 {
+                        self.done = true;
+                        return Err(TraceIoError::ZeroExtent {
+                            index: self.record_index + self.frame.len() as u64,
+                        });
+                    }
+                    self.frame
+                        .push(TraceRecord::new(tempo_program::ProcId::new(proc), bytes));
+                }
+                ReadMode::Lossy => {
+                    if let Some(r) = repair_record(proc, bytes, self.program, &mut self.warnings) {
+                        self.frame.push(r);
+                    } else {
+                        // Dropped records still advance the strict record
+                        // index space; they are counted per-defect instead.
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Handles a defective frame: strict fails, lossy tallies. `skippable`
+    /// frames were fully consumed (bad CRC / bad decode) so the stream can
+    /// continue; unskippable ones (truncation, absurd length) end it.
+    fn frame_defect(&mut self, index: u64, skippable: bool) -> Result<bool, TraceIoError> {
+        if self.mode == ReadMode::Strict {
+            self.done = true;
+            return Err(TraceIoError::CorruptFrame { frame: index });
+        }
+        self.warnings.bad_frames += 1;
+        if !skippable {
+            self.done = true;
+        }
+        Ok(!self.done)
+    }
+}
+
+impl<R: Read> TraceSource for V2Source<'_, R> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        loop {
+            if let Some(r) = self.frame.get(self.cursor) {
+                self.cursor += 1;
+                self.record_index += 1;
+                return Ok(Some(*r));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            // Loop: a lossy skip yields an empty frame buffer.
+            self.load_frame()?;
+        }
+    }
+
+    fn warnings(&self) -> TraceWarnings {
+        self.warnings
+    }
+}
+
+/// Reads a whole v2 trace strictly.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic, unsupported versions, corrupt frames,
+/// or zero-extent records.
+pub fn read_binary_v2<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let mut source = V2Source::new(r)?;
+    let mut trace = Trace::new();
+    while let Some(rec) = source.try_next()? {
+        trace.push(rec);
+    }
+    Ok(trace)
+}
+
+/// Reads a whole v2 trace, recovering from corruption instead of failing.
+///
+/// # Errors
+///
+/// Fails only on genuine I/O errors from the reader.
+pub fn read_binary_v2_lossy<R: Read>(
+    r: R,
+    program: Option<&Program>,
+) -> Result<(Trace, TraceWarnings), TraceIoError> {
+    let mut source = V2Source::new_lossy(r, program)?;
+    let mut trace = Trace::new();
+    while let Some(rec) = source.try_next()? {
+        trace.push(rec);
+    }
+    Ok((trace, source.warnings()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_program::ProcId;
+
+    fn sample_trace() -> Trace {
+        Trace::from_records(vec![
+            TraceRecord::new(ProcId::new(0), 100),
+            TraceRecord::new(ProcId::new(5), 32),
+            TraceRecord::new(ProcId::new(0), 1),
+            TraceRecord::new(ProcId::new(1_000_000), u32::MAX),
+        ])
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 6-byte varint: too long for u32.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut pos),
+            None
+        );
+        // 5th byte with bits above 32.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80, 0x80, 0x80, 0x80, 0x7F], &mut pos), None);
+        // Truncated continuation.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None);
+    }
+
+    #[test]
+    fn v2_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        assert_eq!(&buf[0..4], b"TMP2");
+        assert_eq!(read_binary_v2(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn v2_roundtrip_empty() {
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &Trace::new()).unwrap();
+        assert_eq!(buf.len(), 8); // header only, no frames
+        assert!(read_binary_v2(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn v2_roundtrip_across_many_frames() {
+        let records: Vec<_> = (0..20_000)
+            .map(|i| TraceRecord::new(ProcId::new(i % 97), (i % 1000) + 1))
+            .collect();
+        let t = Trace::from_records(records);
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, 512).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(read_binary_v2(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn v2_is_denser_than_v1_for_small_ids() {
+        let records: Vec<_> = (0..10_000)
+            .map(|i| TraceRecord::new(ProcId::new(i % 50), (i % 200) + 1))
+            .collect();
+        let t = Trace::from_records(records);
+        let mut v1 = Vec::new();
+        crate::io::write_binary(&mut v1, &t).unwrap();
+        let mut v2 = Vec::new();
+        write_binary_v2(&mut v2, &t).unwrap();
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "v2 ({}) should be well under half of v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_rejects_bad_magic_and_version() {
+        assert!(matches!(
+            V2Source::new(&b"NOPE\x02\x00\x00\x00"[..]).unwrap_err(),
+            TraceIoError::BadMagic
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            V2Source::new(buf.as_slice()).unwrap_err(),
+            TraceIoError::UnsupportedVersion(9)
+        ));
+    }
+
+    #[test]
+    fn v2_strict_rejects_corrupt_frame() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF; // flip payload bits -> CRC mismatch
+        assert!(matches!(
+            read_binary_v2(buf.as_slice()).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+    }
+
+    #[test]
+    fn v2_strict_rejects_truncated_payload() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_binary_v2(buf.as_slice()).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+    }
+
+    #[test]
+    fn v2_lossy_skips_corrupt_frame_and_keeps_the_rest() {
+        // Three single-record frames; corrupt the middle one.
+        let t = Trace::from_records(vec![
+            TraceRecord::new(ProcId::new(1), 10),
+            TraceRecord::new(ProcId::new(2), 20),
+            TraceRecord::new(ProcId::new(3), 30),
+        ]);
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, 1).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        // Frame layout: header(8) + 3 × (12-byte frame header + 2-byte payload).
+        let mid_payload = 8 + 14 + 12; // first byte of frame 1's payload
+        buf[mid_payload] ^= 0x55;
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(w.bad_frames, 1);
+        assert_eq!(
+            back.records(),
+            &[
+                TraceRecord::new(ProcId::new(1), 10),
+                TraceRecord::new(ProcId::new(3), 30),
+            ]
+        );
+    }
+
+    #[test]
+    fn v2_lossy_stops_at_truncated_tail() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, 2).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 1); // clip the final frame's payload
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(w.bad_frames, 1);
+        assert_eq!(back.records(), &t.records()[..2]);
+    }
+
+    #[test]
+    fn v2_lossy_tolerates_mangled_header() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        buf[0] = b'X';
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(w.header_mangled, 1);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v2_lossy_repairs_records_against_program() {
+        let p = Program::builder()
+            .procedure("a", 64)
+            .procedure("b", 32)
+            .build()
+            .unwrap();
+        let t = Trace::from_records(vec![
+            TraceRecord::new(ProcId::new(0), 10),
+            TraceRecord::new(ProcId::new(99), 10),  // unknown
+            TraceRecord::new(ProcId::new(1), 5000), // oversized
+        ]);
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), Some(&p)).unwrap();
+        assert_eq!(w.unknown_proc, 1);
+        assert_eq!(w.clamped_extent, 1);
+        assert_eq!(back.len(), 2);
+        back.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn v2_strict_rejects_zero_extent() {
+        // Hand-build a frame with a zero-extent record (writer can't).
+        let mut payload = Vec::new();
+        push_varint(&mut payload, 7);
+        push_varint(&mut payload, 0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            read_binary_v2(buf.as_slice()).unwrap_err(),
+            TraceIoError::ZeroExtent { index: 0 }
+        ));
+        // Lossy drops it instead.
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(w.zero_extent, 1);
+    }
+
+    #[test]
+    fn v2_lossy_rejects_absurd_payload_length() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // payload_len
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(w.bad_frames, 1);
+        assert!(matches!(
+            read_binary_v2(&buf[..]).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+    }
+
+    #[test]
+    fn v2_writer_as_sink_latches_errors() {
+        /// Writer that fails after a fixed byte budget.
+        struct Failing(usize);
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 < buf.len() {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                self.0 -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = V2Writer::with_frame_records(Failing(16), 1).unwrap();
+        for _ in 0..4 {
+            TraceSink::accept(&mut w, &TraceRecord::new(ProcId::new(1), 1));
+        }
+        assert!(w.finish().is_err());
+    }
+}

@@ -208,8 +208,11 @@ pub fn read_profile<R: BufRead>(r: R) -> Result<ProfileData, ProfileIoError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or(ProfileIoError::BadLine { line: ln })?;
-    let mut counts = Vec::with_capacity(n);
-    let mut flags = Vec::with_capacity(n);
+    // `n` is an untrusted declared count: cap the preallocation (the same
+    // hardening the trace readers apply) and let the vectors grow normally.
+    let cap = n.min(1 << 20);
+    let mut counts = Vec::with_capacity(cap);
+    let mut flags = Vec::with_capacity(cap);
     for _ in 0..n {
         let (ln, line) = lr.expect("popular entry")?;
         let mut parts = line.split_whitespace();

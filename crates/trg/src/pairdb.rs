@@ -51,6 +51,14 @@ pub struct PairDb {
     index_dirty: bool,
 }
 
+/// Equality compares the association counts only; the query index is a
+/// lazily rebuilt cache and carries no information of its own.
+impl PartialEq for PairDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+
 impl PairDb {
     /// Creates an empty database.
     pub fn new() -> Self {

@@ -8,7 +8,9 @@
 use std::fmt;
 
 use tempo_program::{ProcId, Program};
-use tempo_trace::Trace;
+use tempo_trace::io::TraceIoError;
+use tempo_trace::source::RefCountSink;
+use tempo_trace::{pump, Trace, TraceSource};
 
 /// Policy for choosing the popular set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +69,27 @@ impl PopularitySelector {
     /// Computes the popular set for a trace.
     pub fn select(&self, program: &Program, trace: &Trace) -> PopularSet {
         self.from_counts(program, &trace.reference_counts(program))
+    }
+
+    /// Computes the popular set from one pass over a [`TraceSource`] in
+    /// O(#procedures) memory — the counting pass of streaming profiling.
+    ///
+    /// Equivalent to [`select`](PopularitySelector::select) on the
+    /// materialized trace: both count references per procedure (ignoring
+    /// records naming procedures the program lacks) and feed
+    /// [`from_counts`](PopularitySelector::from_counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    pub fn select_source<S: TraceSource>(
+        &self,
+        program: &Program,
+        mut source: S,
+    ) -> Result<PopularSet, TraceIoError> {
+        let mut counts = RefCountSink::new(program.len());
+        pump(&mut source, &mut counts)?;
+        Ok(self.from_counts(program, counts.counts()))
     }
 
     /// Computes the popular set from precomputed reference counts

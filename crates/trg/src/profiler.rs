@@ -5,7 +5,8 @@ use std::fmt;
 
 use tempo_cache::CacheConfig;
 use tempo_program::{ChunkId, Program};
-use tempo_trace::{Trace, TraceRecord};
+use tempo_trace::io::TraceIoError;
+use tempo_trace::{MemorySource, Trace, TraceRecord, TraceSink, TraceSource};
 
 use crate::{PairDb, PopularSet, PopularitySelector, QSet, WeightedGraph};
 
@@ -83,7 +84,7 @@ impl fmt::Display for ProfileWarnings {
 ///   (node ids are **global chunk ids**); drives GBSC's cache-relative
 ///   alignment cost.
 /// * `pair_db` — the §6 association database, present only when requested.
-#[derive(Clone)]
+#[derive(Clone, PartialEq)]
 pub struct ProfileData {
     /// The cache geometry the profile was gathered for.
     pub cache: CacheConfig,
@@ -221,16 +222,55 @@ impl<'p> Profiler<'p> {
 
     /// Like [`profile`](Profiler::profile), but also reports how many
     /// records were repaired or dropped as a [`ProfileWarnings`].
+    ///
+    /// A thin wrapper over [`profile_source`](Profiler::profile_source):
+    /// popularity is selected from the materialized trace, then the trace
+    /// is replayed through an in-memory [`MemorySource`], so the streaming
+    /// and materialized paths are the same code and produce identical
+    /// profiles by construction.
     pub fn profile_lossy(self, trace: &Trace) -> (ProfileData, ProfileWarnings) {
         let popular = match self.popular.clone() {
             Some(p) => p,
             None => self.selector.select(self.program, trace),
         };
+        self.with_popular(popular)
+            .profile_source(MemorySource::new(trace))
+            .unwrap_or_else(|_| unreachable!("in-memory sources never fail"))
+    }
+
+    /// Profiles a [`TraceSource`] in one pass and constant memory.
+    ///
+    /// Popularity selection needs a counting pass of its own, so the
+    /// popular set must be supplied up front via
+    /// [`with_popular`](Profiler::with_popular) — compute it from a first
+    /// opening of the source with
+    /// [`PopularitySelector::select_source`](crate::PopularitySelector::select_source)
+    /// (`Session::profile_with` in `tempo-core` packages the two-pass
+    /// recipe).
+    ///
+    /// Pass `&mut source` to keep the source and inspect its
+    /// [`warnings`](TraceSource::warnings) afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no popular set was supplied.
+    pub fn profile_source<S: TraceSource>(
+        self,
+        mut source: S,
+    ) -> Result<(ProfileData, ProfileWarnings), TraceIoError> {
+        let popular = self
+            .popular
+            .clone()
+            .expect("profile_source requires with_popular (see PopularitySelector::select_source)");
         let mut stream = self.into_stream(popular);
-        for record in trace.iter() {
-            stream.observe(record);
+        while let Some(record) = source.try_next()? {
+            stream.observe(&record);
         }
-        stream.finish_with_warnings()
+        Ok(stream.finish_with_warnings())
     }
 
     /// Converts the profiler into a streaming builder over the given
@@ -339,6 +379,18 @@ impl ProfileStream<'_> {
         }
     }
 
+    /// Consumes an entire source, observing every record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    pub fn consume<S: TraceSource>(&mut self, mut source: S) -> Result<(), TraceIoError> {
+        while let Some(record) = source.try_next()? {
+            self.observe(&record);
+        }
+        Ok(())
+    }
+
     /// Records accepted so far (dropped records are not counted).
     pub fn records_seen(&self) -> u64 {
         self.records
@@ -369,6 +421,14 @@ impl ProfileStream<'_> {
                 max: self.q_proc.max_occupancy(),
             },
         }
+    }
+}
+
+/// A profile stream is a [`TraceSink`], so it can sit behind a
+/// `Tee` and share one pass over a source with other consumers.
+impl TraceSink for ProfileStream<'_> {
+    fn accept(&mut self, record: &TraceRecord) {
+        self.observe(record);
     }
 }
 

@@ -32,10 +32,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tempo_program::{ProcId, Program, ProgramError};
-use tempo_trace::{Trace, TraceBuilder};
+use tempo_trace::io::TraceIoError;
+use tempo_trace::{Trace, TraceBuilder, TraceRecord, TraceSource};
 
 /// One call site: `caller` invokes `callee` an average of `weight` times
 /// per invocation of the caller.
@@ -193,7 +196,7 @@ impl CallGraphWorkload {
         let mut dwell_left = self.phases.first().map_or(0, |p| p.dwell);
         while out.len() < len {
             let phase = self.phases.get(phase_idx);
-            self.invoke(self.root, phase, 0, &mut rng, &mut out, len);
+            self.invoke(self.root, phase, 0, &mut rng, &mut out, 0, len);
             if !self.phases.is_empty() {
                 dwell_left = dwell_left.saturating_sub(1);
                 if dwell_left == 0 {
@@ -205,7 +208,28 @@ impl CallGraphWorkload {
         Trace::from_records(out.build().into_iter().take(len).collect())
     }
 
+    /// Lazily generates the same trace as [`trace`](Self::trace), as a
+    /// [`TraceSource`] buffering one root invocation at a time.
+    pub fn trace_source(&self, seed: u64, len: usize) -> CallGraphSource<'_> {
+        CallGraphSource {
+            workload: self,
+            rng: StdRng::seed_from_u64(seed),
+            phase_idx: 0,
+            dwell_left: self.phases.first().map_or(0, |p| p.dwell),
+            pending: VecDeque::new(),
+            generated: 0,
+            remaining: len as u64,
+            total: len as u64,
+        }
+    }
+
+    /// One invocation subtree. `base` is the number of records already
+    /// emitted into earlier builders of the same logical trace, so the
+    /// `base + out.len() >= len` cutoff (and therefore every RNG draw)
+    /// is identical whether the walk writes into one whole-trace builder
+    /// (`base == 0`) or into per-invocation buffers of a streaming source.
     #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+    #[allow(clippy::too_many_arguments)] // internal walk state, not public API
     fn invoke(
         &self,
         proc: ProcId,
@@ -213,9 +237,10 @@ impl CallGraphWorkload {
         depth: u32,
         rng: &mut StdRng,
         out: &mut TraceBuilder<'_>,
+        base: usize,
         len: usize,
     ) {
-        if out.len() >= len {
+        if base + out.len() >= len {
             return;
         }
         // Decide the fired calls first so segment extents can be sized.
@@ -236,12 +261,72 @@ impl CallGraphWorkload {
         let seg = (self.program.size_of(proc) / segments).max(1);
         out.transition(proc, seg);
         for callee in fired {
-            if out.len() >= len {
+            if base + out.len() >= len {
                 return;
             }
-            self.invoke(callee, phase, depth + 1, rng, out, len);
+            self.invoke(callee, phase, depth + 1, rng, out, base, len);
             out.transition(proc, seg);
         }
+    }
+}
+
+/// A lazy [`TraceSource`] over a [`CallGraphWorkload`], from
+/// [`CallGraphWorkload::trace_source`].
+///
+/// Yields the exact record sequence [`CallGraphWorkload::trace`] would
+/// materialize for the same seed and length, while holding only the
+/// current root invocation in memory.
+#[derive(Debug)]
+pub struct CallGraphSource<'w> {
+    workload: &'w CallGraphWorkload,
+    rng: StdRng,
+    phase_idx: usize,
+    dwell_left: u32,
+    /// Records of the current root invocation not yet handed out.
+    pending: VecDeque<TraceRecord>,
+    /// Records generated so far, yielded or pending — the materialized
+    /// walk's `out.len()`, fed back as `invoke`'s `base`.
+    generated: usize,
+    remaining: u64,
+    total: u64,
+}
+
+impl TraceSource for CallGraphSource<'_> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        while self.pending.is_empty() {
+            let w = self.workload;
+            let phase = w.phases.get(self.phase_idx);
+            // `generated < len` here (remaining > 0 and nothing pending),
+            // so the invocation emits at least one record.
+            let mut out = TraceBuilder::new(&w.program);
+            w.invoke(
+                w.root,
+                phase,
+                0,
+                &mut self.rng,
+                &mut out,
+                self.generated,
+                usize::try_from(self.total).unwrap_or(usize::MAX),
+            );
+            if !w.phases.is_empty() {
+                self.dwell_left = self.dwell_left.saturating_sub(1);
+                if self.dwell_left == 0 {
+                    self.phase_idx = (self.phase_idx + 1) % w.phases.len();
+                    self.dwell_left = w.phases[self.phase_idx].dwell;
+                }
+            }
+            self.generated += out.len();
+            self.pending.extend(out.build());
+        }
+        self.remaining -= 1;
+        Ok(self.pending.pop_front())
+    }
+
+    fn expected_records(&self) -> Option<u64> {
+        Some(self.total)
     }
 }
 
@@ -274,6 +359,20 @@ mod tests {
         let t = w.trace(1, 1_000);
         assert_eq!(t.len(), 1_000);
         t.validate(w.program()).unwrap();
+    }
+
+    #[test]
+    fn source_yields_exactly_the_materialized_trace() {
+        let w = figure1();
+        for seed in [2u64, 7, 13] {
+            let materialized = w.trace(seed, 1_500);
+            let mut source = w.trace_source(seed, 1_500);
+            assert_eq!(source.expected_records(), Some(1_500));
+            let mut streamed = Trace::new();
+            tempo_trace::pump(&mut source, &mut streamed).unwrap();
+            assert_eq!(streamed, materialized, "seed {seed}");
+            assert!(source.try_next().unwrap().is_none());
+        }
     }
 
     #[test]

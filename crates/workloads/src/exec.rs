@@ -7,11 +7,14 @@
 //! long-range temporal structure (working sets that rotate over the hot
 //! set) that distinguishes a TRG from a WCG.
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tempo_program::ProcId;
+use tempo_trace::io::TraceIoError;
 use tempo_trace::stats::Zipf;
-use tempo_trace::{Trace, TraceBuilder};
+use tempo_trace::{Trace, TraceBuilder, TraceRecord, TraceSource};
 
 use crate::{BenchmarkModel, InputSpec};
 
@@ -63,6 +66,23 @@ impl<'m> Executor<'m> {
         let mut trace = std::mem::replace(&mut out, TraceBuilder::new(program)).build();
         trace = Trace::from_records(trace.into_iter().take(len).collect());
         trace
+    }
+
+    /// Converts the executor into a lazy [`TraceSource`] yielding exactly
+    /// `len` records.
+    ///
+    /// The records are identical to what [`generate`](Executor::generate)
+    /// would return from the same executor state — both emit whole root
+    /// invocations and cut the stream at `len` — but the source buffers at
+    /// most one invocation (a few dozen records) instead of the whole
+    /// trace, so paper-scale runs stay in constant memory.
+    pub fn into_source(self, len: usize) -> ExecutorSource<'m> {
+        ExecutorSource {
+            exec: self,
+            pending: VecDeque::new(),
+            remaining: len as u64,
+            total: len as u64,
+        }
     }
 
     /// One root invocation: dispatcher → driver → leaves.
@@ -147,6 +167,46 @@ impl<'m> Executor<'m> {
     }
 }
 
+/// A lazy [`TraceSource`] over an [`Executor`].
+///
+/// Yields the exact record sequence [`Executor::generate`] would
+/// materialize — same model, same input, same RNG draw order — while
+/// holding only the current root invocation in memory. Obtained from
+/// [`Executor::into_source`] or the `*_source` methods on
+/// [`BenchmarkModel`].
+#[derive(Debug)]
+pub struct ExecutorSource<'m> {
+    exec: Executor<'m>,
+    /// Records of the current root invocation not yet handed out.
+    pending: VecDeque<TraceRecord>,
+    /// Records still to yield before the stream ends.
+    remaining: u64,
+    /// Total records this source will yield.
+    total: u64,
+}
+
+impl TraceSource for ExecutorSource<'_> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        while self.pending.is_empty() {
+            // Each root invocation emits at least three records
+            // (dispatcher, driver, dispatcher return), so this refill
+            // always makes progress.
+            let mut out = TraceBuilder::new(self.exec.model.program());
+            self.exec.invoke_root(&mut out);
+            self.pending.extend(out.build());
+        }
+        self.remaining -= 1;
+        Ok(self.pending.pop_front())
+    }
+
+    fn expected_records(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
 /// Geometric-ish dwell with the given mean (at least 1).
 #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 fn sample_dwell(rng: &mut StdRng, mean: u32, factor: f64) -> u32 {
@@ -191,6 +251,20 @@ mod tests {
             InputSpec::new(11),
             InputSpec::new(22),
         )
+    }
+
+    #[test]
+    fn source_yields_exactly_the_materialized_trace() {
+        let m = model();
+        let input = m.training_input();
+        let materialized = Executor::new(&m, input).generate(7_500);
+        let mut source = Executor::new(&m, input).into_source(7_500);
+        assert_eq!(source.expected_records(), Some(7_500));
+        let mut streamed = Trace::new();
+        tempo_trace::pump(&mut source, &mut streamed).unwrap();
+        assert_eq!(streamed, materialized);
+        // The stream ends exactly at the requested length.
+        assert!(source.try_next().unwrap().is_none());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use tempo_program::{ProcId, Program};
 use tempo_trace::stats::lognormal;
 use tempo_trace::Trace;
 
+use crate::exec::ExecutorSource;
 use crate::{Executor, InputSpec, WorkloadSpec};
 
 /// A built benchmark: the program, its role assignment (dispatcher, phase
@@ -221,6 +222,26 @@ impl BenchmarkModel {
     /// Generates the testing trace (`len` records).
     pub fn testing_trace(&self, len: usize) -> Trace {
         self.trace(&self.testing, len)
+    }
+
+    /// Lazily generates a trace of exactly `len` records for an arbitrary
+    /// input, as a [`tempo_trace::TraceSource`].
+    ///
+    /// Yields the same records as [`trace`](Self::trace) while buffering
+    /// only one root invocation at a time — use this for paper-scale runs
+    /// that must not materialize the trace.
+    pub fn trace_source(&self, input: &InputSpec, len: usize) -> ExecutorSource<'_> {
+        Executor::new(self, *input).into_source(len)
+    }
+
+    /// Lazily generates the training trace (`len` records).
+    pub fn training_source(&self, len: usize) -> ExecutorSource<'_> {
+        self.trace_source(&self.training, len)
+    }
+
+    /// Lazily generates the testing trace (`len` records).
+    pub fn testing_source(&self, len: usize) -> ExecutorSource<'_> {
+        self.trace_source(&self.testing, len)
     }
 }
 

@@ -43,6 +43,6 @@ pub mod par;
 mod spec;
 pub mod suite;
 
-pub use exec::Executor;
+pub use exec::{Executor, ExecutorSource};
 pub use generator::BenchmarkModel;
 pub use spec::{InputSpec, WorkloadSpec};
