@@ -543,15 +543,25 @@ pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
             .has_csv
             .then(|| display_path(&opts.out_dir.join(format!("{}.csv", spec.name))));
         let mut ctx = Ctx::new(args, csv_path.clone());
+        // Experiments run strictly one at a time, so a before/after snapshot
+        // of the global tempo-obs registry attributes every pipeline counter
+        // (trace.*, profile.*, place.*, sim.*) to this experiment.
+        let obs_before = tempo::obs::snapshot();
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             (spec.run)(&mut ctx);
         }));
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let obs_deltas = tempo::obs::snapshot().counter_deltas(&obs_before);
 
         let record = match outcome {
             Ok(()) => {
-                let out = ctx.finish();
+                let mut out = ctx.finish();
+                out.metrics.extend(
+                    obs_deltas
+                        .iter()
+                        .map(|(name, delta)| (name.clone(), *delta as f64)),
+                );
                 std::fs::write(
                     opts.out_dir.join(format!("{}.txt", spec.name)),
                     out.text.as_bytes(),

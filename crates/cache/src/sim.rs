@@ -167,9 +167,32 @@ pub fn simulate(
     trace: &Trace,
     config: CacheConfig,
 ) -> SimStats {
+    let start = std::time::Instant::now();
     let mut sim = Simulator::new(program, layout, config);
     sim.run(trace.iter());
-    sim.stats()
+    let stats = sim.stats();
+    note_sim(&stats, start.elapsed().as_secs_f64() * 1e3);
+    stats
+}
+
+/// Reports one completed per-layout simulation pass to the global
+/// [`tempo_obs`] registry: `sim.records` / `sim.accesses` / `sim.misses` /
+/// `sim.instructions` counters, the per-layout wall time histogram
+/// `sim.layout_ms`, and a `sim.records_per_sec` throughput gauge (kept at
+/// its maximum across passes so parallel sweeps stay deterministic).
+///
+/// Purely additive: the returned [`SimStats`] are computed before this runs
+/// and are identical to an uninstrumented simulation.
+pub(crate) fn note_sim(stats: &SimStats, elapsed_ms: f64) {
+    tempo_obs::counter("sim.records").add(stats.records);
+    tempo_obs::counter("sim.accesses").add(stats.accesses);
+    tempo_obs::counter("sim.misses").add(stats.misses);
+    tempo_obs::counter("sim.instructions").add(stats.instructions);
+    tempo_obs::histogram("sim.layout_ms").record(elapsed_ms);
+    if elapsed_ms > 0.0 {
+        let per_sec = stats.records as f64 / (elapsed_ms / 1e3);
+        tempo_obs::gauge("sim.records_per_sec").set_max(per_sec);
+    }
 }
 
 /// A simulator is a [`TraceSink`], so it can sit behind a `Tee` and share
@@ -197,9 +220,14 @@ pub fn simulate_source<S: TraceSource>(
     source: S,
     config: CacheConfig,
 ) -> Result<SimStats, TraceIoError> {
+    let start = std::time::Instant::now();
     let mut sim = Simulator::new(program, layout, config);
-    sim.consume(source)?;
-    Ok(sim.stats())
+    let mut source = source;
+    sim.consume(&mut source)?;
+    let stats = sim.stats();
+    tempo_trace::obs::note_read(stats.records, &source.warnings());
+    note_sim(&stats, start.elapsed().as_secs_f64() * 1e3);
+    Ok(stats)
 }
 
 #[cfg(test)]

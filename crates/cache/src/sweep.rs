@@ -79,16 +79,27 @@ pub fn simulate_layouts_streamed<S: TraceSource>(
     mut source: S,
     config: CacheConfig,
 ) -> Result<Vec<SimStats>, TraceIoError> {
+    let start = std::time::Instant::now();
     let mut sims: Vec<Simulator<'_>> = layouts
         .iter()
         .map(|layout| Simulator::new(program, layout, config))
         .collect();
+    let mut pulled = 0u64;
     while let Some(r) = source.try_next()? {
         for sim in &mut sims {
             sim.step(&r);
         }
+        pulled += 1;
     }
-    Ok(sims.iter().map(Simulator::stats).collect())
+    tempo_trace::obs::note_read(pulled, &source.warnings());
+    let all: Vec<SimStats> = sims.iter().map(Simulator::stats).collect();
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    for stats in &all {
+        // One shared pass: attribute the wall time to each layout's pass so
+        // `sim.layout_ms` stays comparable with per-layout simulation.
+        crate::sim::note_sim(stats, elapsed_ms);
+    }
+    Ok(all)
 }
 
 fn collect_or_panic(results: Vec<Result<SimStats, tempo_par::JobPanic>>) -> Vec<SimStats> {

@@ -40,10 +40,8 @@ impl ArgMap {
             if flag.is_empty() {
                 return Err(CliError::Usage("bare `--` is not a flag".to_string()));
             }
-            let takes_value = it.peek().is_some_and(|next| !next.starts_with("--"));
-            if takes_value {
-                let value = it.next().expect("peeked").clone();
-                if values.insert(flag.to_string(), value).is_some() {
+            if let Some(value) = it.next_if(|next| !next.starts_with("--")) {
+                if values.insert(flag.to_string(), value.clone()).is_some() {
                     return Err(CliError::Usage(format!("flag --{flag} repeated")));
                 }
             } else {

@@ -228,6 +228,35 @@ fn load_trace(
     }
 }
 
+/// Writes a snapshot of the global metric registry to `path`: JSON when the
+/// path ends in `.json`, the aligned text rendering otherwise. Backs the
+/// global `--metrics-out` flag.
+pub fn write_metrics(path: &str) -> Result<(), CliError> {
+    let snap = tempo_obs::snapshot();
+    let body = if path.ends_with(".json") {
+        snap.render_json()
+    } else {
+        snap.render_text()
+    };
+    std::fs::write(Path::new(path), body)?;
+    Ok(())
+}
+
+/// `stats`: render a `--metrics-out` JSON snapshot as the text summary.
+pub fn stats(args: &ArgMap) -> Result<(), CliError> {
+    let path = args.require("metrics")?.to_string();
+    args.finish()?;
+    let body = std::fs::read_to_string(Path::new(&path))?;
+    let snap = tempo_obs::Snapshot::parse_json(&body).map_err(|e| {
+        CliError::parse(
+            "metrics",
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+        )
+    })?;
+    print!("{}", snap.render_text());
+    Ok(())
+}
+
 fn load_layout(args: &ArgMap, program: &Program) -> Result<Layout, CliError> {
     let path = args.require("layout")?;
     let layout =
@@ -283,6 +312,15 @@ pub fn generate(args: &ArgMap) -> Result<(), CliError> {
         tempo::trace::io::write_binary(create(path)?, &trace)
             .map_err(|e| CliError::parse("trace", e))?;
         println!("wrote {path}: {} records ({input} input)", trace.len());
+        tempo_obs::event(
+            "generate",
+            "trace written",
+            &[
+                ("bench", bench.as_str().into()),
+                ("records", trace.len().into()),
+                ("path", path.as_str().into()),
+            ],
+        );
     }
     if program_out.is_none() && trace_out.is_none() {
         return Err(CliError::Usage(
@@ -307,6 +345,7 @@ pub fn profile(args: &ArgMap) -> Result<(), CliError> {
     let out = args.require("out")?.to_string();
     let selector = PopularitySelector::coverage(coverage).with_min_count(2);
 
+    let span = tempo_obs::span("stage.profile");
     let profile = if stream {
         let path = args.require("trace")?.to_string();
         // Consume --max-memory if given: streaming satisfies any budget.
@@ -336,7 +375,19 @@ pub fn profile(args: &ArgMap) -> Result<(), CliError> {
             .with_pair_db(pair_db)
             .profile(&trace)
     };
+    span.finish();
     write_profile(create(&out)?, &profile).map_err(|e| CliError::parse("profile", e))?;
+    tempo_obs::event(
+        "profile",
+        "profile written",
+        &[
+            ("popular", profile.popular.count().into()),
+            ("wcg_edges", profile.wcg.edge_count().into()),
+            ("trg_select_edges", profile.trg_select.edge_count().into()),
+            ("trg_place_edges", profile.trg_place.edge_count().into()),
+            ("avg_q", profile.q_stats.average.into()),
+        ],
+    );
     println!(
         "wrote {out}: {} popular procedures, WCG {} edges, TRG_select {} edges, TRG_place {} edges, avg Q {:.1}",
         profile.popular.count(),
@@ -405,6 +456,15 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
         .map_err(|e| CliError::Inconsistent(format!("algorithm produced invalid layout: {e}")))?;
     tempo::program::io::write_layout(create(&out)?, &layout)
         .map_err(|e| CliError::parse("layout", e))?;
+    tempo_obs::event(
+        "place",
+        "layout written",
+        &[
+            ("algorithm", degradation.ran.as_str().into()),
+            ("work_spent", degradation.work_spent.into()),
+            ("degraded", u64::from(degradation.is_degraded()).into()),
+        ],
+    );
     println!(
         "wrote {out}: {} layout, span {} bytes ({} padding)",
         degradation.ran,
@@ -444,6 +504,7 @@ pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
     let cache = args.cache()?;
     let want_classify = args.switch("classify");
 
+    let span = tempo_obs::span("stage.simulate");
     let (stats, trace) = if stream {
         if want_classify {
             return Err(CliError::Usage(
@@ -467,6 +528,7 @@ pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
         let stats = tempo::cache::simulate(&program, &layout, &trace, cache);
         (stats, Some(trace))
     };
+    span.finish();
     println!(
         "{} records, {} line accesses, {} instructions",
         stats.records, stats.accesses, stats.instructions
@@ -477,8 +539,27 @@ pub fn simulate(args: &ArgMap) -> Result<(), CliError> {
         stats.miss_rate() * 100.0,
         stats.line_miss_rate() * 100.0
     );
+    tempo_obs::event(
+        "simulate",
+        "simulation complete",
+        &[
+            ("records", stats.records.into()),
+            ("accesses", stats.accesses.into()),
+            ("misses", stats.misses.into()),
+            ("miss_rate", stats.miss_rate().into()),
+        ],
+    );
     if want_classify {
-        let trace = trace.expect("classify implies the materialized branch");
+        // Reaching classification without a materialized trace is an
+        // internal-flow bug (the --stream guard above should have fired),
+        // but it must surface as an error, not a panic.
+        let Some(trace) = trace else {
+            return Err(CliError::Inconsistent(
+                "--classify needs a materialized trace, but simulation ran without one \
+                 (is --stream set?)"
+                    .to_string(),
+            ));
+        };
         let b = classify(&program, &layout, &trace, cache);
         println!(
             "breakdown: {} cold, {} capacity, {} conflict ({:.1}% conflict)",
@@ -544,6 +625,15 @@ pub fn convert(args: &ArgMap) -> Result<(), CliError> {
     if !warnings.is_clean() {
         eprintln!("tempo-cli: warning: --in {input}: recovered ({warnings})");
     }
+    tempo_obs::event(
+        "convert",
+        "trace transcoded",
+        &[
+            ("records", records.into()),
+            ("to", to.as_str().into()),
+            ("defects", warnings.total().into()),
+        ],
+    );
     println!("wrote {out}: {records} records ({to})");
     Ok(())
 }

@@ -25,6 +25,9 @@
 
 // In the test build, `unwrap` IS the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+// Outside tests, the CLI must return `CliError`, never panic: a panic is
+// an exit-code-101 crash that breaks the 0/1/2 contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod args;
 pub mod commands;
@@ -43,7 +46,13 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage(USAGE.to_string()));
     };
     let parsed = args::ArgMap::parse(rest)?;
-    match cmd.as_str() {
+    // Global observability flags, consumed here so every subcommand
+    // accepts them (consumption tracking keeps `finish()` happy).
+    if let Some(fmt) = parsed.get("log-format") {
+        tempo_obs::set_log_format(tempo_obs::LogFormat::parse(fmt).map_err(CliError::Usage)?);
+    }
+    let metrics_out = parsed.get("metrics-out").map(str::to_string);
+    let result = match cmd.as_str() {
         "generate" => commands::generate(&parsed),
         "profile" => commands::profile(&parsed),
         "place" => commands::place(&parsed),
@@ -53,6 +62,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "trace-stats" => commands::trace_stats(&parsed),
         "compare" => commands::compare(&parsed),
         "bench" => commands::bench(&parsed),
+        "stats" => commands::stats(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,7 +70,17 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
         ))),
+    };
+    // Metrics are written even when the command failed: a failing run's
+    // counters are exactly what a post-mortem wants. A write failure never
+    // masks the command's own error.
+    if let Some(path) = metrics_out {
+        let written = commands::write_metrics(&path);
+        if result.is_ok() {
+            written?;
+        }
     }
+    result
 }
 
 /// Top-level usage text.
@@ -104,6 +124,15 @@ commands:
             [--bench-json PATH] [--no-bench-json] [--only NAMES] [--quiet]
       run the paper's experiment suite in parallel (same driver as
       `tempo-bench run-all`); writes results/ and BENCH_run.json
+  stats     --metrics FILE
+      render a --metrics-out JSON snapshot as the aligned text summary
+
+global flags (every command):
+  --metrics-out PATH   write a snapshot of all pipeline counters, gauges,
+                       and stage timings after the command (JSON when PATH
+                       ends in .json, aligned text otherwise)
+  --log-format FMT     structured stage events on stderr: off (default),
+                       text, or json (one JSON object per line)
 
 trace reading defaults to --strict (reject corrupt traces); --lossy
 resyncs past defective records/frames and prints a recovery summary to

@@ -4,6 +4,9 @@
 //! `0` success, `1` pipeline failure or failing diagnostics, `2` usage
 //! error.
 
+// A panic would exit 101 and break the contract above.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::error::Error as _;
 use std::process::ExitCode;
 

@@ -303,6 +303,24 @@ fn convert_roundtrip_and_streaming_match_materialized() {
         "--stream",
     ]))
     .expect("streaming satisfies any budget");
+
+    // --classify with --stream must come back as a structured usage
+    // error, never a panic (regression: the classify branch used to
+    // `expect` a materialized trace).
+    let err = run(&cmd(&[
+        "simulate",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("layout"),
+        "--trace",
+        &p("train.v2"),
+        "--stream",
+        "--classify",
+    ]))
+    .unwrap_err();
+    assert!(matches!(err, tempo_cli::CliError::Usage(_)), "{err}");
+    assert!(err.to_string().contains("--classify"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -481,5 +499,89 @@ fn analyze_fails_on_corrupt_layout() {
         tempo_cli::CliError::Diagnostics { errors, .. } => assert!(errors >= 1),
         other => panic!("expected failing diagnostics, got: {other}"),
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_out_writes_parseable_snapshot_and_stats_renders_it() {
+    let dir = workdir("obs");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    run(&cmd(&[
+        "generate",
+        "--bench",
+        "m88ksim",
+        "--records",
+        "10000",
+        "--input",
+        "train",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+    ]))
+    .expect("generate");
+    run(&cmd(&[
+        "profile",
+        "--program",
+        &p("prog"),
+        "--trace",
+        &p("train"),
+        "--out",
+        &p("profile"),
+        "--metrics-out",
+        &p("metrics.json"),
+    ]))
+    .expect("profile with --metrics-out");
+
+    // The snapshot parses back losslessly and carries the pipeline
+    // vocabulary. The registry is process-global (other tests in this
+    // binary contribute too), so assert lower bounds, not equality.
+    let body = std::fs::read_to_string(p("metrics.json")).expect("metrics file");
+    let snap = tempo_obs::Snapshot::parse_json(&body).expect("snapshot JSON parses");
+    assert!(snap.counter("trace.records_read").unwrap_or(0) >= 10_000);
+    assert!(snap.counter("profile.records").unwrap_or(0) >= 10_000);
+    assert!(
+        snap.get("stage.profile").is_some(),
+        "stage timing histogram missing"
+    );
+
+    // `stats` renders the same file without error.
+    run(&cmd(&["stats", "--metrics", &p("metrics.json")])).expect("stats");
+
+    // A non-.json path gets the aligned text rendering.
+    run(&cmd(&[
+        "simulate",
+        "--program",
+        &p("prog"),
+        "--layout",
+        &p("id.layout"),
+        "--trace",
+        &p("train"),
+        "--metrics-out",
+        &p("metrics.txt"),
+    ]))
+    .err(); // layout file absent: command fails, flag parsing must not
+    run(&cmd(&[
+        "place",
+        "--program",
+        &p("prog"),
+        "--profile",
+        &p("profile"),
+        "--algorithm",
+        "default",
+        "--out",
+        &p("id.layout"),
+        "--metrics-out",
+        &p("metrics.txt"),
+    ]))
+    .expect("place with text metrics");
+    let text = std::fs::read_to_string(p("metrics.txt")).expect("text metrics");
+    assert!(text.contains("place.runs"), "text rendering: {text}");
+
+    // An unknown --log-format value is a usage error before dispatch.
+    let err = run(&cmd(&["help", "--log-format", "yaml"])).unwrap_err();
+    assert!(matches!(err, tempo_cli::CliError::Usage(_)));
+
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -53,6 +53,7 @@
 
 pub use tempo_analyze as analyze;
 pub use tempo_cache as cache;
+pub use tempo_obs as obs;
 pub use tempo_par as par;
 pub use tempo_place as place;
 pub use tempo_program as program;

@@ -56,6 +56,7 @@ impl<'p> Session<'p> {
     /// profiler tolerates unknown procedures, zero extents, and oversized
     /// extents instead of panicking.
     pub fn profile_lossy(self, trace: &Trace) -> (ProfiledSession<'p>, ProfileWarnings) {
+        let _span = tempo_obs::span("stage.profile");
         let (profile, warnings) = Profiler::new(self.program, self.cache)
             .popularity(self.selector)
             .with_pair_db(self.pair_db)
@@ -89,7 +90,11 @@ impl<'p> Session<'p> {
         S: TraceSource,
         F: FnMut() -> Result<S, TraceIoError>,
     {
-        let popular = self.selector.select_source(self.program, open()?)?;
+        let popular = {
+            let _span = tempo_obs::span("stage.profile.popularity");
+            self.selector.select_source(self.program, open()?)?
+        };
+        let _span = tempo_obs::span("stage.profile.qpass");
         let (profile, warnings) = Profiler::new(self.program, self.cache)
             .popularity(self.selector)
             .with_pair_db(self.pair_db)
@@ -144,6 +149,7 @@ impl<'p> ProfiledSession<'p> {
 
     /// Runs a placement algorithm.
     pub fn place<A: PlacementAlgorithm + ?Sized>(&self, algorithm: &A) -> Layout {
+        let _span = tempo_obs::span("stage.place");
         algorithm.place(&self.context())
     }
 
@@ -175,6 +181,7 @@ impl<'p> ProfiledSession<'p> {
         algorithm: &A,
         budget: Budget,
     ) -> (Layout, Degradation) {
+        let _span = tempo_obs::span("stage.place");
         place_with_fallback(self.program, &self.profile, algorithm, budget)
     }
 
@@ -195,6 +202,7 @@ impl<'p> ProfiledSession<'p> {
 
     /// Simulates a layout against a trace on this session's cache.
     pub fn evaluate(&self, layout: &Layout, trace: &Trace) -> SimStats {
+        let _span = tempo_obs::span("stage.simulate");
         simulate(self.program, layout, trace, self.profile.cache)
     }
 
@@ -211,6 +219,7 @@ impl<'p> ProfiledSession<'p> {
         layout: &Layout,
         source: S,
     ) -> Result<SimStats, TraceIoError> {
+        let _span = tempo_obs::span("stage.simulate");
         simulate_source(self.program, layout, source, self.profile.cache)
     }
 
@@ -227,6 +236,7 @@ impl<'p> ProfiledSession<'p> {
         layouts: &[Layout],
         source: S,
     ) -> Result<Vec<SimStats>, TraceIoError> {
+        let _span = tempo_obs::span("stage.simulate");
         simulate_layouts_streamed(self.program, layouts, source, self.profile.cache)
     }
 

@@ -1,0 +1,73 @@
+//! Dependency-free observability for the tempo pipeline.
+//!
+//! Every long-running stage of the toolkit — trace ingestion, Q-set
+//! profiling, placement, cache simulation — is instrumented against this
+//! crate so that a multi-hour paper-scale run (17M–146M records, §5 of
+//! Gloy et al.) is not a black box while it executes. The crate provides
+//! four primitives and deliberately nothing else:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (records read, Q-set
+//!   evictions, cache misses, ...).
+//! * [`Gauge`] — last-write-wins `f64` (peak RSS, live Q-set bytes).
+//! * [`Histogram`] — count/sum/min/max plus log2 buckets of recorded
+//!   samples (stage latencies).
+//! * [`Span`] — a scoped timer guard; dropping it records the elapsed
+//!   milliseconds into a histogram of the same name.
+//!
+//! Metrics live in a process-wide [`Registry`] (see [`global`]) keyed by
+//! a dotted vocabulary (`trace.records_read`, `profile.qset_evictions`,
+//! `sim.misses`; the full map to paper quantities is DESIGN.md §11). A
+//! [`Snapshot`] of the registry renders to deterministic text or JSON and
+//! parses back, which is what backs `--metrics-out` and `tempo stats`.
+//!
+//! Structured events ([`event`]) are separate from metrics: they are
+//! emitted to stderr as they happen, in text or JSON-lines form, and are
+//! silenced by default (see [`set_log_format`]).
+//!
+//! Instrumentation is counters-only at the simulation level: recording a
+//! metric never changes a simulated result, so instrumented and
+//! uninstrumented runs produce byte-identical miss counts.
+
+// In the test build, `unwrap` IS the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod event;
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use event::{event, format_event, set_log_format, EventField, LogFormat};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use registry::{global, Registry};
+pub use snapshot::{MetricValue, Snapshot};
+pub use span::Span;
+
+use std::sync::Arc;
+
+/// The global counter named `name` (registering it on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// The global gauge named `name` (registering it on first use).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// The global histogram named `name` (registering it on first use).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Starts a scoped timer on the global registry; dropping the returned
+/// [`Span`] records the elapsed milliseconds into histogram `name`.
+pub fn span(name: &str) -> Span {
+    global().span(name)
+}
+
+/// A point-in-time snapshot of the global registry, in sorted name order.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}

@@ -1,0 +1,283 @@
+//! The three metric primitives: counters, gauges, histograms.
+//!
+//! Counters and gauges are single atomics (lock-free, safe to hammer from
+//! pool workers); histograms take a short mutex per sample so the `f64`
+//! sum stays exact. All three are cheap enough to leave enabled
+//! unconditionally — instrumented and uninstrumented pipelines must
+//! produce identical results, differing only in what they report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 buckets a [`Histogram`] keeps (values `>= 2^31` share
+/// the last bucket).
+pub(crate) const BUCKETS: usize = 32;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the count.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins measurement (stored as `f64` bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0.0_f64.to_bits()))
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water-mark use).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self
+                .0
+                .compare_exchange(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+/// A distribution of non-negative samples (stage latencies in
+/// milliseconds, mostly): exact count/sum/min/max plus log2 buckets.
+#[derive(Debug)]
+pub struct Histogram(Mutex<HistState>);
+
+/// The rendered form of a [`Histogram`]: what a [`crate::Snapshot`]
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`0.0` when empty).
+    pub min: f64,
+    /// Largest sample (`0.0` when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Mean sample, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram(Mutex::new(HistState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }))
+    }
+
+    /// Records one sample (negative samples clamp to zero).
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        let bucket = bucket_index(v);
+        let mut s = lock_unpoisoned(&self.0);
+        s.count += 1;
+        s.sum += v;
+        s.min = s.min.min(v);
+        s.max = s.max.max(v);
+        s.buckets[bucket] += 1;
+    }
+
+    /// The exact summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        let s = lock_unpoisoned(&self.0);
+        HistogramSummary {
+            count: s.count,
+            sum: s.sum,
+            min: if s.count == 0 { 0.0 } else { s.min },
+            max: if s.count == 0 { 0.0 } else { s.max },
+        }
+    }
+
+    /// The log2 bucket counts (bucket `i` holds samples in
+    /// `[2^(i-1), 2^i)`, bucket 0 holds samples below `1.0`).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        lock_unpoisoned(&self.0).buckets
+    }
+}
+
+/// Maps a non-negative sample to its log2 bucket.
+// The f64 -> u64 cast is saturating by construction: `v` is clamped to
+// `u64::MAX as f64` first, and any value past the cap lands in the last
+// bucket anyway.
+#[allow(clippy::cast_possible_truncation)]
+fn bucket_index(v: f64) -> usize {
+    if v < 1.0 {
+        0
+    } else {
+        // floor(log2(v)) + 1, capped at the last bucket: [1,2) -> 1,
+        // [2,4) -> 2, [4,8) -> 3, ...
+        let bits = 64 - (v.min(u64::MAX as f64) as u64).leading_zeros() as usize;
+        bits.min(BUCKETS - 1)
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: metric state
+/// stays valid even when a panicking thread held the lock mid-update
+/// (worst case one sample is half-applied, which observability accepts).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_last_write_and_high_water() {
+        let g = Gauge::new();
+        g.set(3.5);
+        assert_eq!(g.get(), 3.5);
+        g.set_max(2.0);
+        assert_eq!(g.get(), 3.5);
+        g.set_max(7.25);
+        assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn histogram_summary_is_exact() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 7.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_summary_is_zeroed() {
+        let s = Histogram::new().summary();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0
+            }
+        );
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_handles_hostile_samples() {
+        let h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.5), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.5), 1);
+        assert_eq!(bucket_index(2.0), 2);
+        assert_eq!(bucket_index(3.0), 2);
+        assert_eq!(bucket_index(4.0), 3);
+        assert_eq!(bucket_index(1e30), BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

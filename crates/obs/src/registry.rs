@@ -1,0 +1,181 @@
+//! The metric registry: a named, process-wide home for every counter,
+//! gauge, and histogram.
+//!
+//! Lookup takes a short mutex; the returned `Arc` handles are lock-free
+//! to update, so hot loops fetch their counter once and update it
+//! directly. Names are dotted (`stage.metric`) and snapshots iterate in
+//! sorted name order, which keeps every rendering deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricValue, Snapshot};
+use crate::span::Span;
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A set of named metrics. Most callers want the process-wide [`global`]
+/// registry; tests build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Entry>> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// If `name` is already registered as a different kind, an
+    /// unregistered counter is returned instead (updates to it are
+    /// dropped from snapshots): observability must never panic the
+    /// pipeline over a vocabulary clash.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Arc::new(Counter::new())))
+        {
+            Entry::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use (kind clashes
+    /// behave as in [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Arc::new(Gauge::new())))
+        {
+            Entry::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use (kind
+    /// clashes behave as in [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Histogram(Arc::new(Histogram::new())))
+        {
+            Entry::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Starts a scoped timer: dropping the returned [`Span`] records the
+    /// elapsed milliseconds into histogram `name`.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self.histogram(name))
+    }
+
+    /// A point-in-time snapshot of every registered metric, in sorted
+    /// name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.lock();
+        Snapshot {
+            entries: entries
+                .iter()
+                .map(|(name, e)| {
+                    let value = match e {
+                        Entry::Counter(c) => MetricValue::Counter(c.get()),
+                        Entry::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Entry::Histogram(h) => MetricValue::Histogram(h.summary()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric (test isolation; production code
+    /// never resets).
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+}
+
+/// The process-wide registry every pipeline stage records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_counter() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 5);
+    }
+
+    #[test]
+    fn kind_clash_returns_orphan() {
+        let r = Registry::new();
+        r.counter("x").add(1);
+        let g = r.gauge("x");
+        g.set(9.0);
+        // The registered entry is still the counter; the orphan gauge's
+        // write is invisible to snapshots.
+        let snap = r.snapshot();
+        assert_eq!(snap.get("x"), Some(&MetricValue::Counter(1)));
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let r = Registry::new();
+        r.counter("z.last").incr();
+        r.counter("a.first").incr();
+        r.gauge("m.mid").set(1.0);
+        let names: Vec<_> = r
+            .snapshot()
+            .entries
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let r = Registry::new();
+        {
+            let _s = r.span("stage.test");
+        }
+        let summary = r.histogram("stage.test").summary();
+        assert_eq!(summary.count, 1);
+        assert!(summary.sum >= 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = Registry::new();
+        r.counter("a").incr();
+        r.reset();
+        assert!(r.snapshot().entries.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! Point-in-time registry snapshots: deterministic rendering (text and
+//! JSON) plus the matching parser.
+//!
+//! The JSON form is what `--metrics-out` writes and `tempo stats` reads,
+//! so this module carries its own minimal JSON reader — tempo-obs sits
+//! below every other crate and stays dependency-free.
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramSummary;
+
+/// The snapshot file format version.
+pub const SCHEMA: u32 = 1;
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// A point-in-time copy of a registry, in sorted name order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// A counter's reading, or `None` if absent or not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Counter increases since `before`: for every counter in `self`,
+    /// its reading minus `before`'s (0 when absent), keeping only
+    /// counters that moved. Sorted by name, like the snapshot itself.
+    pub fn counter_deltas(&self, before: &Snapshot) -> Vec<(String, u64)> {
+        self.entries
+            .iter()
+            .filter_map(|(name, value)| match value {
+                MetricValue::Counter(now) => {
+                    let was = before.counter(name).unwrap_or(0);
+                    let delta = now.saturating_sub(was);
+                    (delta > 0).then(|| (name.clone(), delta))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The human-readable rendering (`tempo stats`, text `--metrics-out`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name:<width$}  {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name:<width$}  {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:<width$}  count={} sum={:.3} min={:.3} max={:.3} mean={:.3}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The machine-readable rendering (JSON, schema-versioned).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {SCHEMA},");
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "    {}: {{\"type\": \"counter\", \"value\": {v}}}{comma}",
+                        json_string(name)
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "    {}: {{\"type\": \"gauge\", \"value\": {}}}{comma}",
+                        json_string(name),
+                        json_number(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "    {}: {{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}{comma}",
+                        json_string(name),
+                        h.count,
+                        json_number(h.sum),
+                        json_number(h.min),
+                        json_number(h.max)
+                    );
+                }
+            }
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a snapshot back from its [`Snapshot::render_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON or does not
+    /// follow the snapshot schema.
+    pub fn parse_json(text: &str) -> Result<Snapshot, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("snapshot root must be an object")?;
+        let metrics = obj
+            .iter()
+            .find(|(k, _)| k == "metrics")
+            .map(|(_, v)| v)
+            .ok_or("snapshot missing `metrics` object")?;
+        let metrics = metrics.as_object().ok_or("`metrics` must be an object")?;
+        let mut entries = Vec::with_capacity(metrics.len());
+        for (name, m) in metrics {
+            let fields = m
+                .as_object()
+                .ok_or_else(|| format!("metric `{name}` must be an object"))?;
+            let field = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let num = |key: &str| {
+                field(key)
+                    .and_then(json::Value::as_f64)
+                    .ok_or_else(|| format!("metric `{name}` missing number `{key}`"))
+            };
+            let kind = field("type")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| format!("metric `{name}` missing `type`"))?;
+            let value = match kind {
+                "counter" => {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    // Counters are emitted as integral u64 well below 2^53.
+                    MetricValue::Counter(num("value")?.max(0.0) as u64)
+                }
+                "gauge" => MetricValue::Gauge(num("value")?),
+                "histogram" => MetricValue::Histogram(HistogramSummary {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    // Sample counts are emitted as integral u64 below 2^53.
+                    count: num("count")?.max(0.0) as u64,
+                    sum: num("sum")?,
+                    min: num("min")?,
+                    max: num("max")?,
+                }),
+                other => return Err(format!("metric `{name}` has unknown type `{other}`")),
+            };
+            entries.push((name.clone(), value));
+        }
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Ok(Snapshot { entries })
+    }
+}
+
+/// Renders a finite `f64` without scientific notation surprises; NaN and
+/// infinities become `0` (JSON has no spelling for them).
+pub(crate) fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON-escapes and quotes a string.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader, just wide enough for snapshot files.
+pub(crate) mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true`/`false`.
+        Bool(bool),
+        /// Any number (always carried as `f64`).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object's fields, if this is an object.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The number, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid).
+                    let rest = &bytes[*pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("trace.records_read").add(1_000_000);
+        r.counter("sim.misses").add(42);
+        r.gauge("proc.peak_rss_kb").set(12_345.0);
+        r.histogram("stage.profile").record(12.5);
+        r.histogram("stage.profile").record(7.5);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let snap = sample();
+        let parsed = Snapshot::parse_json(&snap.render_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn text_rendering_lists_each_metric() {
+        let text = sample().render_text();
+        assert!(text.contains("trace.records_read"));
+        assert!(text.contains("1000000"));
+        assert!(text.contains("count=2 sum=20.000"));
+    }
+
+    #[test]
+    fn counter_deltas_ignore_unmoved() {
+        let r = Registry::new();
+        r.counter("a").add(5);
+        r.counter("b").add(1);
+        let before = r.snapshot();
+        r.counter("a").add(7);
+        r.counter("c").add(3);
+        let after = r.snapshot();
+        assert_eq!(
+            after.counter_deltas(&before),
+            vec![("a".to_string(), 7), ("c".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Snapshot::parse_json("{").is_err());
+        assert!(Snapshot::parse_json("{}").is_err());
+        assert!(Snapshot::parse_json("{\"metrics\": 3}").is_err());
+        assert!(Snapshot::parse_json("{\"metrics\": {\"x\": {\"type\": \"mystery\"}}}").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_hand_written_json() {
+        let text = r#"{
+            "schema": 1,
+            "metrics": {
+                "b": {"type": "gauge", "value": -2.5},
+                "a": {"type": "counter", "value": 9}
+            }
+        }"#;
+        let snap = Snapshot::parse_json(text).unwrap();
+        assert_eq!(snap.counter("a"), Some(9));
+        assert_eq!(snap.get("b"), Some(&MetricValue::Gauge(-2.5)));
+        // Entries re-sort on parse.
+        assert_eq!(snap.entries[0].0, "a");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_number_renders_integers_plainly() {
+        assert_eq!(json_number(5.0), "5");
+        assert_eq!(json_number(5.25), "5.25");
+        assert_eq!(json_number(f64::NAN), "0");
+    }
+}

@@ -1,0 +1,80 @@
+//! Scoped stage timers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A scoped timer: created by [`Registry::span`](crate::Registry::span),
+/// it records the elapsed wall-clock milliseconds into its histogram when
+/// dropped.
+///
+/// ```
+/// let registry = tempo_obs::Registry::new();
+/// {
+///     let _timer = registry.span("stage.profile");
+///     // ... the work being timed ...
+/// }
+/// assert_eq!(registry.histogram("stage.profile").summary().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    pub(crate) fn new(hist: Arc<Histogram>) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Milliseconds elapsed since the span started.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Ends the span now, recording its duration (equivalent to dropping
+    /// it, but reads better at explicit stage boundaries).
+    pub fn finish(mut self) -> f64 {
+        let ms = self.elapsed_ms();
+        self.hist.record(ms);
+        self.recorded = true;
+        ms
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.hist.record(self.elapsed_ms());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = Span::new(Arc::clone(&h));
+        }
+        assert_eq!(h.summary().count, 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let h = Arc::new(Histogram::new());
+        let s = Span::new(Arc::clone(&h));
+        let ms = s.finish();
+        assert!(ms >= 0.0);
+        assert_eq!(h.summary().count, 1);
+    }
+}

@@ -260,6 +260,30 @@ pub fn place_with_fallback<A: PlacementAlgorithm + ?Sized>(
     algorithm: &A,
     budget: Budget,
 ) -> (Layout, Degradation) {
+    let (layout, degradation) = run_fallback_chain(program, profile, algorithm, budget);
+    note_placement(&degradation);
+    (layout, degradation)
+}
+
+/// Reports a completed placement run to the global [`tempo_obs`] registry:
+/// `place.runs`, `place.work_spent` (shared-meter units across all tiers),
+/// `place.degraded`, and a per-algorithm `place.algo.<name>.runs` counter
+/// naming the tier that actually produced the layout.
+fn note_placement(d: &Degradation) {
+    tempo_obs::counter("place.runs").incr();
+    tempo_obs::counter("place.work_spent").add(d.work_spent);
+    if d.is_degraded() {
+        tempo_obs::counter("place.degraded").incr();
+    }
+    tempo_obs::counter(&format!("place.algo.{}.runs", d.ran.to_lowercase())).incr();
+}
+
+fn run_fallback_chain<A: PlacementAlgorithm + ?Sized>(
+    program: &Program,
+    profile: &ProfileData,
+    algorithm: &A,
+    budget: Budget,
+) -> (Layout, Degradation) {
     let requested = algorithm.name().to_string();
     let meter = BudgetMeter::new(budget);
     let ctx = PlacementContext::new(program, profile).with_budget(&meter);

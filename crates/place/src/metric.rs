@@ -61,16 +61,11 @@ pub fn trg_conflict_cost(
     trg_place: &WeightedGraph,
     cache: CacheConfig,
 ) -> f64 {
-    let occupancy = chunk_occupancy(program, layout, cache);
-    let mut cost = 0.0;
-    for line in &occupancy {
-        for i in 0..line.len() {
-            for j in (i + 1)..line.len() {
-                cost += trg_place.weight(line[i].chunk.index(), line[j].chunk.index());
-            }
-        }
-    }
-    cost
+    let occupancy: Vec<Vec<u32>> = chunk_occupancy(program, layout, cache)
+        .iter()
+        .map(|line| line.iter().map(|o| o.chunk.index()).collect())
+        .collect();
+    pairwise_cost(&occupancy, trg_place)
 }
 
 /// Sum over every cache line of the pairwise **WCG** weights of the
@@ -98,12 +93,22 @@ pub fn wcg_conflict_cost(
     pairwise_cost(&occupancy, wcg)
 }
 
+/// Sums the pairwise weights of each line's co-residents with a *pinned*
+/// accumulation order: occupants are sorted per line before the `i < j`
+/// sweep, so the `f64` sum is bit-identical however the occupancy vectors
+/// were assembled. Figure-6 CSVs must stay byte-identical across `--jobs`
+/// values and machines (the PR 3 determinism contract, DESIGN.md §9), and
+/// float addition does not commute in the last ULP.
 fn pairwise_cost(occupancy: &[Vec<u32>], graph: &WeightedGraph) -> f64 {
     let mut cost = 0.0;
+    let mut sorted: Vec<u32> = Vec::new();
     for line in occupancy {
-        for i in 0..line.len() {
-            for j in (i + 1)..line.len() {
-                cost += graph.weight(line[i], line[j]);
+        sorted.clear();
+        sorted.extend_from_slice(line);
+        sorted.sort_unstable();
+        for i in 0..sorted.len() {
+            for j in (i + 1)..sorted.len() {
+                cost += graph.weight(sorted[i], sorted[j]);
             }
         }
     }
@@ -224,6 +229,55 @@ mod tests {
         g.add_weight(0, 1, 3.0);
         let cost = trg_conflict_cost(&program, &layout, &g, cache);
         assert_eq!(cost, 3.0 * f64::from(cache.lines()));
+    }
+
+    #[test]
+    fn pairwise_cost_is_order_independent_bitwise() {
+        // Weights of wildly different magnitudes so that any change in
+        // f64 accumulation order shows up in the last ULP.
+        let mut g = WeightedGraph::new();
+        g.add_weight(0, 1, 1e-9);
+        g.add_weight(0, 2, 1e9);
+        g.add_weight(1, 2, 0.3);
+        g.add_weight(2, 3, 7.77e-5);
+        g.add_weight(1, 3, 123456.789);
+        let canonical = vec![vec![0, 1, 2, 3], vec![1, 2, 3]];
+        let reference = pairwise_cost(&canonical, &g);
+        // Every permutation of each line must produce bit-identical cost.
+        let shuffles = [
+            vec![vec![3, 2, 1, 0], vec![3, 1, 2]],
+            vec![vec![2, 0, 3, 1], vec![2, 3, 1]],
+            vec![vec![1, 3, 0, 2], vec![1, 2, 3]],
+        ];
+        for occ in &shuffles {
+            assert_eq!(
+                pairwise_cost(occ, &g).to_bits(),
+                reference.to_bits(),
+                "accumulation order leaked into the metric"
+            );
+        }
+    }
+
+    #[test]
+    fn conflict_cost_is_bit_stable_across_threads() {
+        // The Figure-6 guarantee: evaluating the metric from parallel
+        // workers (any --jobs value) yields byte-identical values.
+        let (program, _, profile) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        let layout = Layout::source_order(&program);
+        let reference = trg_conflict_cost(&program, &layout, &profile.trg_place, cache).to_bits();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        trg_conflict_cost(&program, &layout, &profile.trg_place, cache).to_bits()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), reference);
+            }
+        });
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod analysis;
 pub mod io;
+pub mod obs;
 pub mod source;
 pub mod stats;
 mod trace;

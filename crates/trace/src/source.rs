@@ -132,10 +132,9 @@ where
         sink.accept(&r);
         records += 1;
     }
-    Ok(PumpSummary {
-        records,
-        warnings: source.warnings(),
-    })
+    let warnings = source.warnings();
+    crate::obs::note_read(records, &warnings);
+    Ok(PumpSummary { records, warnings })
 }
 
 /// Fan-out combinator: one sink that forwards every record to each of a set

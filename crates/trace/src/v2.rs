@@ -416,7 +416,11 @@ impl<'p, R: Read> V2Source<'p, R> {
         // the frame atomically (the CRC passed, so this only fires on
         // writer bugs or collisions).
         let mut pos = 0usize;
-        let mut decoded = Vec::with_capacity(record_count as usize);
+        // The preallocation must not trust the header either: cap the
+        // reservation by what the payload can physically hold (two bytes
+        // per record minimum), so a hostile count can never turn into a
+        // multi-gigabyte allocation even if the sanity check above drifts.
+        let mut decoded = Vec::with_capacity((record_count as usize).min(payload.len() / 2));
         for _ in 0..record_count {
             let (Some(proc), Some(bytes)) = (
                 read_varint(&payload, &mut pos),
@@ -757,6 +761,71 @@ mod tests {
         let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
         assert!(back.is_empty());
         assert_eq!(w.zero_extent, 1);
+    }
+
+    #[test]
+    fn v2_hostile_record_count_cannot_force_allocation() {
+        // A frame whose header declares ~4 billion records over a tiny
+        // (CRC-valid) payload. The count check rejects it, and the decode
+        // preallocation is clamped by payload size — a hostile header must
+        // never become a multi-gigabyte `Vec::with_capacity`. Regression
+        // test for the unclamped `with_capacity(record_count)` bug.
+        let mut payload = Vec::new();
+        push_varint(&mut payload, 7);
+        push_varint(&mut payload, 1);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile count
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        // Strict: the frame is corrupt.
+        assert!(matches!(
+            read_binary_v2(buf.as_slice()).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+        // Lossy: the frame is skipped (it was fully consumed), and a
+        // valid frame after it still decodes.
+        let mut good = Vec::new();
+        push_varint(&mut good, 3);
+        push_varint(&mut good, 42);
+        buf.extend_from_slice(&(good.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&crc32(&good).to_le_bytes());
+        buf.extend_from_slice(&good);
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert_eq!(w.bad_frames, 1);
+        assert_eq!(
+            back,
+            Trace::from_records(vec![TraceRecord::new(ProcId::new(3), 42)])
+        );
+    }
+
+    #[test]
+    fn v2_overdeclared_count_within_bound_is_a_frame_defect() {
+        // record_count passes the `count * 2 <= payload_len` sanity check
+        // but exceeds what the payload actually holds: decode must fail
+        // the frame, not read out of bounds or trust the reservation.
+        let mut payload = Vec::new();
+        push_varint(&mut payload, 1);
+        push_varint(&mut payload, 10);
+        push_varint(&mut payload, 2);
+        push_varint(&mut payload, 20); // 2 real records, 8 bytes
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes()); // declares 4 records
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            read_binary_v2(buf.as_slice()).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+        let (back, w) = read_binary_v2_lossy(buf.as_slice(), None).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(w.bad_frames, 1);
     }
 
     #[test]

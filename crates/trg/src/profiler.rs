@@ -267,9 +267,12 @@ impl<'p> Profiler<'p> {
             .clone()
             .expect("profile_source requires with_popular (see PopularitySelector::select_source)");
         let mut stream = self.into_stream(popular);
+        let mut pulled = 0u64;
         while let Some(record) = source.try_next()? {
             stream.observe(&record);
+            pulled += 1;
         }
+        tempo_trace::obs::note_read(pulled, &source.warnings());
         Ok(stream.finish_with_warnings())
     }
 
@@ -408,7 +411,25 @@ impl ProfileStream<'_> {
     }
 
     /// Completes the profile.
+    ///
+    /// Also reports the pass to the global [`tempo_obs`] registry:
+    /// `profile.records` (accepted records), `profile.qset_proc_evictions`
+    /// / `profile.qset_chunk_evictions` (the §3 residency bound at work),
+    /// the edge counts of the three graphs, and dropped/clamped tallies.
     pub fn finish(self) -> ProfileData {
+        tempo_obs::counter("profile.records").add(self.records);
+        tempo_obs::counter("profile.qset_proc_evictions").add(self.q_proc.evictions());
+        tempo_obs::counter("profile.qset_chunk_evictions").add(self.q_chunk.evictions());
+        tempo_obs::counter("profile.wcg_edges").add(self.wcg.edge_count() as u64);
+        tempo_obs::counter("profile.trg_select_edges").add(self.trg_select.edge_count() as u64);
+        tempo_obs::counter("profile.trg_place_edges").add(self.trg_place.edge_count() as u64);
+        let dropped = self.warnings.unknown_proc + self.warnings.zero_extent;
+        if dropped > 0 {
+            tempo_obs::counter("profile.records_dropped").add(dropped);
+        }
+        if self.warnings.clamped_extent > 0 {
+            tempo_obs::counter("profile.records_clamped").add(self.warnings.clamped_extent);
+        }
         ProfileData {
             cache: self.cache,
             popular: self.popular,

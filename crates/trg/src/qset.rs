@@ -62,6 +62,8 @@ pub struct QSet {
     /// Total size of live slots.
     live_size: u64,
     next_seq: u64,
+    /// Capacity evictions performed by the §3 maintenance rule.
+    evictions: u64,
     /// Occupancy accounting for average-Q-size reporting (Table 1).
     occupancy_sum: u64,
     occupancy_samples: u64,
@@ -79,6 +81,7 @@ impl QSet {
             index: HashMap::new(),
             live_size: 0,
             next_seq: 0,
+            evictions: 0,
             occupancy_sum: 0,
             occupancy_samples: 0,
             occupancy_max: 0,
@@ -169,9 +172,22 @@ impl QSet {
                 self.slots.pop_front();
                 self.index.remove(&front.id);
                 self.live_size -= u64::from(front.size);
+                self.evictions += 1;
             } else {
                 break;
             }
+        }
+
+        // Compaction: the lazy front-pop above cannot reach stale slots
+        // sitting *behind* a live, non-evictable front (e.g. one old hot
+        // block followed by endless re-references to another), so the
+        // deque would otherwise grow without bound on adversarial
+        // patterns. Sweep out stale slots once they outnumber live ones;
+        // amortized O(1) per reference, and `slots` stays within
+        // `max(16, 2 × live entries)`.
+        if self.slots.len() > (self.index.len() * 2).max(16) {
+            let index = &self.index;
+            self.slots.retain(|s| index.get(&s.id) == Some(&s.seq));
         }
 
         // Occupancy sample (after maintenance), for Table 1 reporting.
@@ -197,6 +213,22 @@ impl QSet {
     /// Maximum number of live entries observed.
     pub fn max_occupancy(&self) -> usize {
         self.occupancy_max
+    }
+
+    /// Capacity evictions performed so far (the §3 maintenance rule
+    /// dropping the oldest block while the remainder still meets the
+    /// bound) — the observability layer reports this as
+    /// `profile.qset_*_evictions`.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Slots currently buffered, live plus not-yet-compacted stale —
+    /// bounded by `max(16, 2 × len())`. Diagnostic for the compaction
+    /// invariant; memory use is proportional to this, not to trace
+    /// length.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 }
 

@@ -86,6 +86,51 @@ proptest! {
             prop_assert_eq!(sorted.len(), ev.interleaved.len());
         }
     }
+
+    #[test]
+    fn qset_slots_stay_bounded_under_adversarial_rereference(
+        ops in prop::collection::vec((0u32..40, 1u32..4000), 1..1500),
+        bound in 1u64..50_000,
+    ) {
+        // Regression: stale slots (superseded references) behind a live,
+        // non-evictable front must not accumulate — the deque is swept so
+        // its length stays within max(16, 2 × live entries) after every
+        // reference, and live entries are themselves bounded by the 2×cache
+        // rule. Without compaction, alternating re-references behind one
+        // old hot block grow `slots` linearly with trace length.
+        let mut size_of = std::collections::HashMap::new();
+        let mut q = QSet::new(bound);
+        for (id, size) in ops {
+            let size = *size_of.entry(id).or_insert(size);
+            q.process(id, size);
+            prop_assert!(
+                q.slot_count() <= (q.len() * 2).max(16),
+                "slots {} exceeds bound for {} live entries",
+                q.slot_count(),
+                q.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn qset_adversarial_alternation_does_not_grow_slots() {
+    // The concrete adversary: one old hot block that never becomes
+    // evictable, followed by millions of re-references to a second block.
+    // Each re-reference supersedes the previous slot; before compaction
+    // was added, every stale slot stayed buffered behind the live front.
+    let mut q = QSet::new(1_000_000); // huge bound: nothing ever evicts
+    q.process(0, 64);
+    for _ in 0..100_000 {
+        q.process(1, 64);
+        assert!(q.slot_count() <= 16, "stale slots accumulated");
+    }
+    assert_eq!(q.len(), 2);
+    assert_eq!(q.evictions(), 0);
+    // The interleaving answer is unaffected by compaction.
+    let ev = q.process(0, 64);
+    assert!(ev.had_previous);
+    assert_eq!(ev.interleaved, vec![1]);
 }
 
 // ---------------------------------------------------------------------
