@@ -4,6 +4,7 @@ use std::fmt;
 
 use tempo_program::{ProcId, Program};
 
+use crate::bounds::MissBounds;
 use crate::predictor::ConflictPrediction;
 
 /// How serious a diagnostic is.
@@ -73,11 +74,12 @@ impl Diagnostic {
 }
 
 /// The aggregated result of one analysis run: every diagnostic plus the
-/// optional conflict prediction.
+/// optional conflict prediction and miss-bound interval.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisReport {
     diagnostics: Vec<Diagnostic>,
     prediction: Option<ConflictPrediction>,
+    bounds: Option<MissBounds>,
 }
 
 impl AnalysisReport {
@@ -94,6 +96,16 @@ impl AnalysisReport {
     /// Attaches the predictor output.
     pub fn set_prediction(&mut self, p: ConflictPrediction) {
         self.prediction = Some(p);
+    }
+
+    /// Attaches the sound conflict-miss interval.
+    pub fn set_bounds(&mut self, b: MissBounds) {
+        self.bounds = Some(b);
+    }
+
+    /// The miss-bound interval, when the analysis computed one.
+    pub fn bounds(&self) -> Option<&MissBounds> {
+        self.bounds.as_ref()
     }
 
     /// All diagnostics, in rule-registry order, errors not sorted first.
@@ -158,6 +170,23 @@ impl AnalysisReport {
         if let Some(p) = &self.prediction {
             out.push_str(&p.render_text(program));
         }
+        if let Some(b) = &self.bounds {
+            out.push_str(&format!(
+                "miss bounds: conflict misses in {} (width {}{}{})\n",
+                b,
+                b.width(),
+                if b.capacity_free {
+                    ", capacity-free"
+                } else {
+                    ""
+                },
+                if b.lo == 0 && b.forced > 0 {
+                    ", lower bound suppressed by capacity pressure"
+                } else {
+                    ""
+                },
+            ));
+        }
         out.push_str(&format!(
             "{} error(s), {} warning(s), {} note(s)\n",
             self.error_count(),
@@ -202,6 +231,13 @@ impl AnalysisReport {
         if let Some(p) = &self.prediction {
             out.push(',');
             out.push_str(&p.render_json(program));
+        }
+        if let Some(b) = &self.bounds {
+            out.push_str(&format!(
+                ",\"bounds\":{{\"lo\":{},\"hi\":{},\"forced\":{},\"capacity_free\":{},\
+                 \"touched_lines\":{},\"contested_sets\":{}}}",
+                b.lo, b.hi, b.forced, b.capacity_free, b.touched_lines, b.contested_sets
+            ));
         }
         out.push('}');
         out
@@ -306,6 +342,27 @@ mod tests {
         assert!(json.contains("\\\"hi\\\"\\n"));
         assert!(json.contains("\"procedures\":[\"alpha\"]"));
         assert!(json.contains("\"suggestion\":null"));
+    }
+
+    #[test]
+    fn bounds_render_in_text_and_json() {
+        let p = program();
+        let mut r = AnalysisReport::new();
+        r.set_bounds(MissBounds {
+            lo: 2,
+            hi: 10,
+            forced: 2,
+            capacity_free: true,
+            touched_lines: 4,
+            contested_sets: 1,
+        });
+        let text = r.render_text(&p);
+        assert!(text.contains("miss bounds: conflict misses in [2, 10]"));
+        assert!(text.contains("capacity-free"));
+        let json = r.render_json(&p);
+        assert!(json.contains("\"bounds\":{\"lo\":2,\"hi\":10"));
+        assert!(json.contains("\"capacity_free\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

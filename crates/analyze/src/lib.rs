@@ -41,12 +41,17 @@
 // In the test build, `unwrap` IS the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
+pub mod bounds;
 mod diagnostics;
 pub mod predictor;
 pub mod rules;
 
+pub use bounds::{miss_bounds, screen_layouts, MissBounds, ScreenReport, ScreenedLayout};
 pub use diagnostics::{AnalysisReport, Diagnostic, Severity};
-pub use predictor::{ConflictPair, ConflictPrediction, CrossValidation, SetPressure};
+pub use predictor::{
+    BoundsCheckRow, BoundsValidation, ConflictPair, ConflictPrediction, CrossValidation,
+    SetPressure,
+};
 pub use rules::Rule;
 
 use tempo_cache::CacheConfig;
@@ -67,6 +72,8 @@ pub struct AnalysisInput<'a> {
     pub cache: CacheConfig,
     /// Chunk-grain temporal graph; enables weighted conflict prediction.
     pub trg_place: Option<&'a WeightedGraph>,
+    /// Procedure-grain temporal graph; enables the miss-bound lower bound.
+    pub trg_select: Option<&'a WeightedGraph>,
     /// Weighted call graph (currently informational only).
     pub wcg: Option<&'a WeightedGraph>,
     /// Popular-procedure set; enables the unaligned-popular rule.
@@ -85,6 +92,7 @@ impl<'a> AnalysisInput<'a> {
             layout,
             cache,
             trg_place: None,
+            trg_select: None,
             wcg: None,
             popular: None,
             tuples: None,
@@ -93,7 +101,7 @@ impl<'a> AnalysisInput<'a> {
     }
 
     /// Creates an input wired to a training profile (cache geometry,
-    /// `TRG_place`, WCG, and popularity all come from `profile`).
+    /// both TRGs, WCG, and popularity all come from `profile`).
     pub fn from_profile(
         program: &'a Program,
         layout: &'a Layout,
@@ -101,6 +109,7 @@ impl<'a> AnalysisInput<'a> {
     ) -> Self {
         AnalysisInput::new(program, layout, profile.cache)
             .with_trg_place(&profile.trg_place)
+            .with_trg_select(&profile.trg_select)
             .with_wcg(&profile.wcg)
             .with_popular(&profile.popular)
     }
@@ -109,6 +118,13 @@ impl<'a> AnalysisInput<'a> {
     #[must_use]
     pub fn with_trg_place(mut self, g: &'a WeightedGraph) -> Self {
         self.trg_place = Some(g);
+        self
+    }
+
+    /// Supplies the procedure-grain temporal graph (`TRG_select`).
+    #[must_use]
+    pub fn with_trg_select(mut self, g: &'a WeightedGraph) -> Self {
+        self.trg_select = Some(g);
         self
     }
 
@@ -146,12 +162,16 @@ impl<'a> AnalysisInput<'a> {
 #[derive(Debug, Clone)]
 pub struct Analyzer {
     top_k: usize,
+    with_bounds: bool,
 }
 
 impl Analyzer {
     /// An analyzer reporting the top 8 hot sets and conflict pairs.
     pub fn new() -> Self {
-        Analyzer { top_k: 8 }
+        Analyzer {
+            top_k: 8,
+            with_bounds: false,
+        }
     }
 
     /// Bounds the number of hot sets / conflict pairs in the prediction.
@@ -161,15 +181,26 @@ impl Analyzer {
         self
     }
 
+    /// Also attaches the sound conflict-miss interval ([`MissBounds`]) to
+    /// the report (requires a popular set on the input; `tempo analyze
+    /// --bounds`).
+    #[must_use]
+    pub fn with_bounds(mut self, on: bool) -> Self {
+        self.with_bounds = on;
+        self
+    }
+
     /// Analyzes one layout.
     pub fn analyze(&self, input: &AnalysisInput<'_>) -> AnalysisReport {
         let mut report = AnalysisReport::new();
         for rule in rules::registry() {
             rule.check(input, &mut report);
         }
-        // The predictor indexes the layout by every procedure id, so it
-        // needs the same guard as the address-dependent rules.
-        if input.layout.len() == input.program.len() {
+        // The predictor analyzes whatever prefix of the procedure ids the
+        // layout covers; a partial layout still yields pressure data for
+        // the covered subset, flagged with a partial-coverage note.
+        let covered = input.program.len().min(input.layout.len());
+        if covered > 0 {
             report.set_prediction(predictor::predict(
                 input.program,
                 input.layout,
@@ -177,6 +208,31 @@ impl Analyzer {
                 input.trg_place,
                 self.top_k,
             ));
+            if covered < input.program.len() {
+                report.push(
+                    Diagnostic::new(
+                        "P001",
+                        Severity::Note,
+                        format!(
+                            "prediction covers only {covered} of {} procedures \
+                             (the layout has no address for the rest)",
+                            input.program.len()
+                        ),
+                    )
+                    .with_suggestion("pressure data below describes the covered subset only"),
+                );
+            }
+        }
+        if self.with_bounds && covered > 0 {
+            if let Some(popular) = input.popular {
+                report.set_bounds(bounds::miss_bounds(
+                    input.program,
+                    input.layout,
+                    input.cache,
+                    popular,
+                    input.trg_select,
+                ));
+            }
         }
         report
     }

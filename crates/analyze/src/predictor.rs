@@ -9,12 +9,13 @@
 
 use std::collections::HashMap;
 
-use tempo_cache::{simulate, CacheConfig};
-use tempo_place::metric::chunk_occupancy;
+use tempo_cache::{classify, simulate, CacheConfig};
+use tempo_place::metric::chunk_occupancy_covered;
 use tempo_program::{Layout, ProcId, Program};
 use tempo_trace::Trace;
-use tempo_trg::WeightedGraph;
+use tempo_trg::{ProfileData, WeightedGraph};
 
+use crate::bounds::{miss_bounds, MissBounds};
 use crate::diagnostics::{json_string, proc_names};
 
 /// Occupancy pressure of one cache set.
@@ -122,7 +123,9 @@ impl ConflictPrediction {
 /// `trg_place` is the chunk-grain temporal graph from profiling; without
 /// it, pair weights and the cost degrade to pure occupancy counting.
 /// `top_k` bounds the reported hot sets and pairs (the totals are always
-/// exact).
+/// exact). Layouts covering only a prefix of the procedure ids are
+/// analyzed over the covered subset (uncovered procedures contribute no
+/// occupancy).
 #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
 pub fn predict(
     program: &Program,
@@ -131,7 +134,7 @@ pub fn predict(
     trg_place: Option<&WeightedGraph>,
     top_k: usize,
 ) -> ConflictPrediction {
-    let occupancy = chunk_occupancy(program, layout, cache);
+    let occupancy = chunk_occupancy_covered(program, layout, cache);
     let sets = cache.sets();
     let assoc = cache.associativity();
 
@@ -255,6 +258,121 @@ pub fn cross_validate(
     }
 }
 
+/// One layout's row in a bounds-vs-simulator soundness check.
+#[derive(Debug, Clone)]
+pub struct BoundsCheckRow {
+    /// Index into the layout slice.
+    pub index: usize,
+    /// The static interval computed without the trace.
+    pub bounds: MissBounds,
+    /// Simulated conflict misses (3C classification).
+    pub conflict: u64,
+    /// Total simulated misses (cold + capacity + conflict).
+    pub misses: u64,
+    /// Figure-6 predicted conflict cost.
+    pub predicted_cost: f64,
+}
+
+impl BoundsCheckRow {
+    /// Whether the simulated conflict count falls inside the interval.
+    pub fn sound(&self) -> bool {
+        self.bounds.contains(self.conflict)
+    }
+}
+
+/// The soundness harness output: per-layout interval checks plus the
+/// predicted-vs-simulated ranking of [`cross_validate`].
+#[derive(Debug, Clone)]
+pub struct BoundsValidation {
+    /// One row per input layout, in input order.
+    pub rows: Vec<BoundsCheckRow>,
+    /// Human-readable description of every interval violation (empty when
+    /// the bounds are sound on this input).
+    pub violations: Vec<String>,
+    /// The layout ranking comparison.
+    pub ranking: CrossValidation,
+}
+
+impl BoundsValidation {
+    /// `true` when every simulated conflict count fell inside its interval.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Extends [`cross_validate`] into a soundness harness: replays the
+/// simulator against the static [`MissBounds`] of every layout and
+/// records each interval violation.
+///
+/// With `strict` set the harness **fails loudly** — it panics on the
+/// first unsound input so CI cannot quietly ship a bound drift. Without
+/// it, violations are returned for the caller to report.
+///
+/// # Panics
+///
+/// Panics when `strict` is set and any simulated conflict-miss count
+/// falls outside its layout's interval.
+pub fn cross_validate_bounds(
+    program: &Program,
+    profile: &ProfileData,
+    layouts: &[&Layout],
+    trace: &Trace,
+    strict: bool,
+) -> BoundsValidation {
+    let cache = profile.cache;
+    let mut rows = Vec::with_capacity(layouts.len());
+    let mut violations = Vec::new();
+    for (index, layout) in layouts.iter().enumerate() {
+        let bounds = miss_bounds(
+            program,
+            layout,
+            cache,
+            &profile.popular,
+            Some(&profile.trg_select),
+        );
+        let breakdown = classify(program, layout, trace, cache);
+        let misses = breakdown.cold + breakdown.capacity + breakdown.conflict;
+        let predicted_cost =
+            predict(program, layout, cache, Some(&profile.trg_place), 0).predicted_cost;
+        let row = BoundsCheckRow {
+            index,
+            bounds,
+            conflict: breakdown.conflict,
+            misses,
+            predicted_cost,
+        };
+        if !row.sound() {
+            violations.push(format!(
+                "layout {index}: simulated {} conflict misses outside bound {}",
+                row.conflict, row.bounds
+            ));
+        }
+        rows.push(row);
+    }
+    assert!(
+        !strict || violations.is_empty(),
+        "miss-bound soundness violated:\n{}",
+        violations.join("\n")
+    );
+    let mut predicted_rank: Vec<usize> = (0..rows.len()).collect();
+    predicted_rank.sort_by(|&i, &j| {
+        rows[i]
+            .predicted_cost
+            .total_cmp(&rows[j].predicted_cost)
+            .then(i.cmp(&j))
+    });
+    let mut simulated_rank: Vec<usize> = (0..rows.len()).collect();
+    simulated_rank.sort_by(|&i, &j| rows[i].misses.cmp(&rows[j].misses).then(i.cmp(&j)));
+    BoundsValidation {
+        rows,
+        violations,
+        ranking: CrossValidation {
+            predicted_rank,
+            simulated_rank,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +477,43 @@ mod tests {
         let cv = cross_validate(&program, cache, &profile.trg_place, &[&bad, &good], &trace);
         assert_eq!(cv.predicted_rank, vec![1, 0]);
         assert!(cv.agrees());
+    }
+
+    #[test]
+    fn soundness_harness_accepts_real_bounds() {
+        let (program, trace) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        let profile = Profiler::new(&program, cache)
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let bad = Layout::source_order(&program);
+        let good = Layout::from_order(&program, &[ProcId::new(0), ProcId::new(2), ProcId::new(1)])
+            .unwrap();
+        let v = cross_validate_bounds(&program, &profile, &[&bad, &good], &trace, true);
+        assert!(v.is_sound());
+        assert_eq!(v.rows.len(), 2);
+        assert!(v.rows.iter().all(BoundsCheckRow::sound));
+        assert!(v.ranking.agrees());
+        assert!(
+            v.rows[0].bounds.hi >= v.rows[0].conflict,
+            "interval covers the simulator"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "miss-bound soundness violated")]
+    fn soundness_harness_fails_loudly_on_a_violated_interval() {
+        let (program, trace) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        let mut profile = Profiler::new(&program, cache)
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        // Forge a profile that undercounts every reference: the upper
+        // bound collapses below the simulator's conflict count.
+        let zeros = vec![0u64; program.len()];
+        profile.popular =
+            tempo_trg::PopularSet::from_parts(program.ids().map(|_| true).collect(), zeros);
+        let bad = Layout::source_order(&program);
+        cross_validate_bounds(&program, &profile, &[&bad], &trace, true);
     }
 }

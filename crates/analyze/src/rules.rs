@@ -5,10 +5,11 @@
 //! input — a layout that does not even cover the program trips `L001` and
 //! makes the address-dependent rules skip themselves.
 
-use tempo_program::{Chunks, ProcId};
+use tempo_program::{Chunks, Layout, ProcId};
 
+use crate::bounds::miss_bounds;
 use crate::diagnostics::{proc_names, AnalysisReport, Diagnostic, Severity};
-use crate::AnalysisInput;
+use crate::{predictor, AnalysisInput};
 
 /// A single lint rule.
 pub trait Rule {
@@ -30,6 +31,8 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(SplitInvariant),
         Box::new(PaddingBlowup),
         Box::new(UnalignedPopular),
+        Box::new(CounterProductive),
+        Box::new(DegenerateBounds),
     ]
 }
 
@@ -376,6 +379,133 @@ impl Rule for UnalignedPopular {
     }
 }
 
+/// L008: a placement whose static miss upper bound **and** predicted
+/// conflict cost both exceed the identity (source-order) layout's is
+/// counter-productive — the optimizer made the cache behavior worse than
+/// doing nothing.
+struct CounterProductive;
+
+impl Rule for CounterProductive {
+    fn code(&self) -> &'static str {
+        "L008"
+    }
+    fn name(&self) -> &'static str {
+        "counter-productive"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        let Some(popular) = input.popular else {
+            return;
+        };
+        if !addressable(input) {
+            return;
+        }
+        let identity = Layout::source_order(input.program);
+        let ours = miss_bounds(
+            input.program,
+            input.layout,
+            input.cache,
+            popular,
+            input.trg_select,
+        );
+        let base = miss_bounds(
+            input.program,
+            &identity,
+            input.cache,
+            popular,
+            input.trg_select,
+        );
+        if ours.hi <= base.hi {
+            return;
+        }
+        // The interval comparison alone can fire on layouts that merely
+        // *look* worse through the bound's over-approximation; require the
+        // Figure-6 conflict metric to agree before flagging (when a
+        // temporal graph is available to evaluate it).
+        if input.trg_place.is_some() {
+            let cost = |l: &Layout| {
+                predictor::predict(input.program, l, input.cache, input.trg_place, 0).predicted_cost
+            };
+            if cost(input.layout) <= cost(&identity) {
+                return;
+            }
+        }
+        let provable = ours.lo > base.hi;
+        report.push(
+            Diagnostic::new(
+                self.code(),
+                Severity::Warning,
+                format!(
+                    "layout's conflict-miss upper bound {} exceeds the identity layout's {}{}",
+                    ours.hi,
+                    base.hi,
+                    if provable {
+                        " (provably counter-productive: its lower bound is above the identity's upper bound)"
+                    } else {
+                        ""
+                    }
+                ),
+            )
+            .with_suggestion(
+                "this placement is predicted to behave worse than not placing at all; \
+                 check the profile it was derived from",
+            ),
+        );
+    }
+}
+
+/// L009: degenerate miss bounds — the analyzer derived `lo == hi == 0`
+/// even though the popular set is non-empty and its code cannot fit the
+/// cache, meaning the predictor saw no occupancy at all (typically a
+/// profile whose reference counts were lost).
+struct DegenerateBounds;
+
+impl Rule for DegenerateBounds {
+    fn code(&self) -> &'static str {
+        "L009"
+    }
+    fn name(&self) -> &'static str {
+        "degenerate-bounds"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, report: &mut AnalysisReport) {
+        let Some(popular) = input.popular else {
+            return;
+        };
+        if !addressable(input) || popular.count() == 0 {
+            return;
+        }
+        // A popular working set that fits the cache can honestly bound to
+        // [0, 0]; only a set that *must* contend makes zero width suspect.
+        if popular.popular_size(input.program) <= u64::from(input.cache.size()) {
+            return;
+        }
+        let b = miss_bounds(
+            input.program,
+            input.layout,
+            input.cache,
+            popular,
+            input.trg_select,
+        );
+        if b.lo == 0 && b.hi == 0 {
+            report.push(
+                Diagnostic::new(
+                    self.code(),
+                    Severity::Note,
+                    format!(
+                        "miss bounds are [0, 0] although {} popular procedure(s) exceed the \
+                         {}-byte cache — the analyzer saw no line occupancy",
+                        popular.count(),
+                        input.cache.size()
+                    ),
+                )
+                .with_suggestion(
+                    "the profile's reference counts look empty; re-profile before trusting \
+                     the bounds",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,8 +545,14 @@ mod tests {
         let layout = Layout::from_addresses(vec![0, 100]);
         let input = AnalysisInput::new(&p, &layout, CacheConfig::direct_mapped_8k());
         let report = Analyzer::new().analyze(&input);
-        assert_eq!(codes(&report), vec!["L001"]);
+        // Address rules stay silent; the predictor still runs on the
+        // covered prefix and flags the partial coverage.
+        assert_eq!(codes(&report), vec!["L001", "P001"]);
         assert_eq!(report.exit_code(false), 1);
+        assert!(
+            report.prediction().is_some(),
+            "covered subset still gets pressure data"
+        );
     }
 
     #[test]
@@ -535,6 +671,72 @@ mod tests {
         let report = Analyzer::new().analyze(&input);
         assert_eq!(codes(&report), vec!["L007"]);
         assert_eq!(report.diagnostics()[0].procs, vec![ProcId::new(2)]);
+    }
+
+    #[test]
+    fn counter_productive_layout_trips_l008() {
+        let cache = CacheConfig::direct_mapped_8k();
+        let p = Program::builder()
+            .procedure("hot_a", 64)
+            .procedure("hot_b", 64)
+            .build()
+            .unwrap();
+        let popular = PopularSet::from_parts(vec![true, true], vec![100, 100]);
+        // Chunk-grain graph: each procedure is a single chunk here, so
+        // chunk ids coincide with procedure ids.
+        let mut trg_place = tempo_trg::WeightedGraph::new();
+        trg_place.add_weight(0, 1, 50.0);
+        let mut trg_select = tempo_trg::WeightedGraph::new();
+        trg_select.add_weight(0, 1, 100.0);
+
+        // Identity keeps the pair on adjacent lines; the "optimized"
+        // layout stacks them one cache-size apart, onto the same line.
+        let stacked = Layout::from_addresses(vec![0, u64::from(cache.size())]);
+        let input = AnalysisInput::new(&p, &stacked, cache)
+            .with_popular(&popular)
+            .with_trg_place(&trg_place)
+            .with_trg_select(&trg_select);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L008"]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+        assert!(
+            report.diagnostics()[0].message.contains("provably"),
+            "forced alternations put lo above the identity's hi: {}",
+            report.diagnostics()[0].message
+        );
+
+        // Source order itself never trips the rule.
+        let identity = Layout::source_order(&p);
+        let input = AnalysisInput::new(&p, &identity, cache)
+            .with_popular(&popular)
+            .with_trg_place(&trg_place)
+            .with_trg_select(&trg_select);
+        assert_eq!(Analyzer::new().analyze(&input).warning_count(), 0);
+    }
+
+    #[test]
+    fn degenerate_bounds_trip_l009() {
+        // Popular code far beyond the cache, but every reference count is
+        // zero: the bound collapses to [0, 0], which cannot be honest.
+        let cache = CacheConfig::new(1024, 32, 1).unwrap();
+        let p = Program::builder()
+            .procedure("big_a", 5000)
+            .procedure("big_b", 5000)
+            .build()
+            .unwrap();
+        let popular = PopularSet::from_parts(vec![true, true], vec![0, 0]);
+        let layout = Layout::source_order(&p);
+        let input = AnalysisInput::new(&p, &layout, cache).with_popular(&popular);
+        let report = Analyzer::new().analyze(&input);
+        assert_eq!(codes(&report), vec!["L009"]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Note);
+        assert_eq!(report.exit_code(true), 0, "notes never affect exit codes");
+
+        // Healthy counts on the same geometry stay silent.
+        let popular = PopularSet::from_parts(vec![true, true], vec![100, 100]);
+        let input = AnalysisInput::new(&p, &layout, cache).with_popular(&popular);
+        let report = Analyzer::new().analyze(&input);
+        assert!(!codes(&report).contains(&"L009"), "{:?}", codes(&report));
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::bounds_soundness`].
+
+fn main() {
+    tempo_bench::harness::bin_main("bounds_soundness");
+}

@@ -29,6 +29,9 @@ commands:
     --no-bench-json    skip the run record
     --only NAMES       comma-separated subset of experiments
     --quiet            suppress per-experiment progress on stderr
+    --prefilter        screen candidate layouts with the static
+                       miss-bound analyzer before simulating
+                       (experiments that support it: cache_sweep)
   list               print the experiment registry
   check-regression   compare a run record against a baseline
     --current PATH     run record to check (default: BENCH_run.json)
@@ -117,6 +120,7 @@ fn run_all(args: &[String]) -> ExitCode {
                 None => return usage_error("--only needs a comma-separated list"),
             },
             "--quiet" => opts.verbose = false,
+            "--prefilter" => opts.prefilter = true,
             other => return usage_error(&format!("unknown run-all flag `{other}`")),
         }
     }

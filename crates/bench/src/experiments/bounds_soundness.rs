@@ -1,0 +1,105 @@
+//! The miss-bound soundness harness: on every Table 1 workload, the
+//! simulated conflict misses of every algorithm's layout must fall inside
+//! the statically-derived interval (`tempo_analyze::bounds::miss_bounds`).
+//!
+//! Runs `cross_validate_bounds` in *strict* mode — an interval violation
+//! panics with the offending layout and interval instead of degrading
+//! into a statistic — so this experiment doubles as the CI gate for the
+//! screening prefilter's soundness contract: a prefilter may only skip a
+//! candidate on evidence that holds for the winner it keeps.
+
+use tempo::analyze::predictor;
+use tempo::prelude::*;
+use tempo::workloads::{par as wpar, suite};
+use tempo_par::Pool;
+
+use crate::harness::{outln, Ctx};
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    let models = suite::standard_suite();
+    let records = ctx.args.records;
+    let jobs: Vec<_> = models
+        .iter()
+        .map(|model| {
+            move || {
+                let (train, _) = wpar::train_test_traces(model, records, &Pool::new(1));
+                let session =
+                    Session::new(model.program(), CacheConfig::direct_mapped_8k()).profile(&train);
+                let layouts = [
+                    ("default", Layout::source_order(model.program())),
+                    ("PH", session.place(&PettisHansen::new())),
+                    ("HKC", session.place(&CacheColoring::new())),
+                    ("GBSC", session.place(&Gbsc::new())),
+                ];
+                let refs: Vec<&Layout> = layouts.iter().map(|(_, l)| l).collect();
+                // Strict: a violated interval panics here, failing the
+                // experiment (and CI) loudly.
+                let v = predictor::cross_validate_bounds(
+                    model.program(),
+                    session.profile(),
+                    &refs,
+                    &train,
+                    true,
+                );
+                let names: Vec<&'static str> = layouts.iter().map(|(n, _)| *n).collect();
+                (model.name(), names, v)
+            }
+        })
+        .collect();
+    let results = ctx.run_jobs(jobs);
+
+    let mut csv = Vec::new();
+    let mut intervals = 0usize;
+    let mut rank_agreements = 0usize;
+    outln!(
+        ctx,
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "benchmark",
+        "layout",
+        "lo",
+        "conflict",
+        "hi",
+        "width"
+    );
+    for (name, layout_names, v) in &results {
+        assert!(v.is_sound(), "strict mode returned with violations");
+        for (ln, row) in layout_names.iter().zip(&v.rows) {
+            ctx.tally_misses(row.misses);
+            intervals += 1;
+            outln!(
+                ctx,
+                "{name:<12} {ln:>8} {:>10} {:>10} {:>10} {:>8}",
+                row.bounds.lo,
+                row.conflict,
+                row.bounds.hi,
+                row.bounds.width()
+            );
+            csv.push(format!(
+                "{name},{ln},{},{},{},{}",
+                row.bounds.lo, row.conflict, row.bounds.hi, row.bounds.capacity_free
+            ));
+        }
+        rank_agreements += usize::from(v.ranking.agrees());
+    }
+    outln!(ctx);
+    outln!(
+        ctx,
+        "0 violations across {intervals} intervals on {} workloads (strict mode)",
+        results.len()
+    );
+    outln!(
+        ctx,
+        "predictor ranking agreed with simulation on {rank_agreements}/{} workloads",
+        results.len()
+    );
+
+    #[allow(clippy::cast_precision_loss)] // interval counts are tiny
+    {
+        ctx.metric("bounds.intervals", intervals as f64);
+        ctx.metric("bounds.violations", 0.0);
+    }
+    if let Some(path) = ctx.csv_path() {
+        ctx.set_csv("benchmark,layout,lo,conflict,hi,capacity_free", csv);
+        outln!(ctx, "wrote {path}");
+    }
+}

@@ -9,6 +9,14 @@
 //! This is the [`SweepRunner`](crate::sweep::SweepRunner) showcase: the
 //! 3 benchmarks × 4 cache sizes expand into 12 concurrent cells, each
 //! evaluating the full algorithm axis on one shared profile.
+//!
+//! With `--prefilter` the cell's candidate slate grows to eight layouts
+//! (the four algorithms plus four
+//! [`stacked_decoy`](crate::sweep::stacked_decoy) variants) and the
+//! static miss-bound analyzer screens the slate before simulation: only
+//! survivors are simulated, and the report shows the screened/simulated
+//! split per cell. The winner column must stay byte-identical to the
+//! unscreened run's — that is the screening soundness contract CI checks.
 
 use tempo::prelude::*;
 use tempo::workloads::suite;
@@ -16,16 +24,31 @@ use tempo::workloads::suite;
 use crate::harness::{outln, Ctx};
 use crate::sweep::{AlgorithmSpec, SweepRunner, SweepSpec};
 
-pub(crate) fn run(ctx: &mut Ctx) {
-    let spec = SweepSpec {
+/// Decoy candidates added to each cell's slate under `--prefilter`.
+const DECOYS: usize = 4;
+
+fn spec(records: usize) -> SweepSpec {
+    SweepSpec {
         benchmarks: vec![suite::m88ksim(), suite::perl(), suite::go()],
         algorithms: AlgorithmSpec::standard(),
         caches: [2u32, 4, 8, 16]
             .iter()
             .map(|kb| CacheConfig::direct_mapped(kb * 1024).expect("valid size"))
             .collect(),
-        records: ctx.args.records,
-    };
+        records,
+    }
+}
+
+pub(crate) fn run(ctx: &mut Ctx) {
+    if ctx.args.prefilter {
+        run_prefiltered(ctx);
+    } else {
+        run_full(ctx);
+    }
+}
+
+fn run_full(ctx: &mut Ctx) {
+    let spec = spec(ctx.args.records);
     let rows = match SweepRunner::on(*ctx.pool()).run(&spec) {
         Ok(rows) => rows,
         Err(errors) => panic!("{}", errors[0]),
@@ -38,12 +61,13 @@ pub(crate) fn run(ctx: &mut Ctx) {
         outln!(ctx, "=== {} ===", spec.benchmarks[mi].name());
         outln!(
             ctx,
-            "{:>8} {:>9} {:>9} {:>9} {:>9}",
+            "{:>8} {:>9} {:>9} {:>9} {:>9} {:>8}",
             "cache",
             "default",
             "PH",
             "HKC",
-            "GBSC"
+            "GBSC",
+            "winner"
         );
         for group in model_rows.chunks(spec.algorithms.len()) {
             let kb = group[0].cache.size() / 1024;
@@ -56,12 +80,21 @@ pub(crate) fn run(ctx: &mut Ctx) {
             for row in group {
                 ctx.tally(row.stats);
             }
+            // First-minimum by raw miss count in algorithm-axis order —
+            // the reference a prefiltered run's winner must match.
+            let winner = group
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, r)| (r.stats.misses, *i))
+                .expect("a cell always has algorithms")
+                .1
+                .algorithm;
             outln!(
                 ctx,
-                "{kb:>6}KB {d:>8.2}% {ph:>8.2}% {hkc:>8.2}% {gbsc:>8.2}%"
+                "{kb:>6}KB {d:>8.2}% {ph:>8.2}% {hkc:>8.2}% {gbsc:>8.2}% {winner:>8}"
             );
             csv.push(format!(
-                "{},{kb},{d:.4},{ph:.4},{hkc:.4},{gbsc:.4}",
+                "{},{kb},{d:.4},{ph:.4},{hkc:.4},{gbsc:.4},{winner}",
                 group[0].benchmark
             ));
         }
@@ -69,11 +102,77 @@ pub(crate) fn run(ctx: &mut Ctx) {
     }
 
     if let Some(path) = ctx.csv_path() {
-        ctx.set_csv("benchmark,cache_kb,default,ph,hkc,gbsc", csv);
+        ctx.set_csv("benchmark,cache_kb,default,ph,hkc,gbsc,winner", csv);
         outln!(ctx, "wrote {path}");
     }
     outln!(
         ctx,
         "paper: the GBSC advantage persists across smaller cache sizes."
+    );
+}
+
+fn run_prefiltered(ctx: &mut Ctx) {
+    let spec = spec(ctx.args.records);
+    let cells = match SweepRunner::on(*ctx.pool()).run_screened(&spec, DECOYS) {
+        Ok(cells) => cells,
+        Err(errors) => panic!("{}", errors[0]),
+    };
+    ctx.note_cells(spec.benchmarks.len() * spec.caches.len());
+
+    let mut csv = Vec::new();
+    let (mut candidates, mut screened) = (0usize, 0usize);
+    let per_model = spec.caches.len();
+    for (mi, model_cells) in cells.chunks(per_model).enumerate() {
+        outln!(ctx, "=== {} (prefiltered) ===", spec.benchmarks[mi].name());
+        outln!(
+            ctx,
+            "{:>8} {:>10} {:>9} {:>10} {:>9} {:>8}",
+            "cache",
+            "candidates",
+            "screened",
+            "simulated",
+            "provable",
+            "winner"
+        );
+        for cell in model_cells {
+            ctx.tally_misses(cell.misses);
+            candidates += cell.candidates;
+            screened += cell.screened;
+            let kb = cell.cache.size() / 1024;
+            outln!(
+                ctx,
+                "{kb:>6}KB {:>10} {:>9} {:>10} {:>9} {:>8}",
+                cell.candidates,
+                cell.screened,
+                cell.simulated,
+                cell.provable,
+                cell.winner
+            );
+            csv.push(format!(
+                "{},{kb},{},{},{},{}",
+                cell.benchmark, cell.candidates, cell.screened, cell.simulated, cell.winner
+            ));
+        }
+        outln!(ctx);
+    }
+
+    #[allow(clippy::cast_precision_loss)] // slate sizes are tiny
+    let skip_fraction = if candidates == 0 {
+        0.0
+    } else {
+        screened as f64 / candidates as f64
+    };
+    ctx.metric("prefilter.skip_fraction", skip_fraction);
+    if let Some(path) = ctx.csv_path() {
+        ctx.set_csv(
+            "benchmark,cache_kb,candidates,screened,simulated,winner",
+            csv,
+        );
+        outln!(ctx, "wrote {path}");
+    }
+    outln!(
+        ctx,
+        "screened {screened} of {candidates} candidate simulations ({:.0}%) without touching the winner column.",
+        skip_fraction * 100.0
     );
 }

@@ -8,6 +8,7 @@
 //! report is byte-identical for any `--jobs` value.
 
 pub mod ablation_chains;
+pub mod bounds_soundness;
 pub mod cache_sweep;
 pub mod chunk_sweep;
 pub mod fig1_motivation;

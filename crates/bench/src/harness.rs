@@ -262,6 +262,14 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         run: crate::experiments::cache_sweep::run,
     },
     ExperimentSpec {
+        name: "bounds_soundness",
+        title: "Miss-bound soundness harness (strict intervals, Table 1 suite)",
+        default_records: 80_000,
+        default_runs: 1,
+        has_csv: true,
+        run: crate::experiments::bounds_soundness::run,
+    },
+    ExperimentSpec {
         name: "m88ksim_same_input",
         title: "S5.3 m88ksim train=test note",
         default_records: 200_000,
@@ -399,6 +407,10 @@ pub struct RunAllOpts {
     pub only: Option<Vec<String>>,
     /// Echo per-experiment progress lines to stderr.
     pub verbose: bool,
+    /// Enable the static miss-bound prefilter in experiments that
+    /// support it (`cache_sweep`). Off by default: the unscreened
+    /// reports are the regression baseline.
+    pub prefilter: bool,
 }
 
 impl Default for RunAllOpts {
@@ -412,6 +424,7 @@ impl Default for RunAllOpts {
             bench_json: Some(PathBuf::from("BENCH_run.json")),
             only: None,
             verbose: false,
+            prefilter: false,
         }
     }
 }
@@ -538,6 +551,7 @@ pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
             out: None,
             budget_ms: None,
             jobs: opts.jobs,
+            prefilter: opts.prefilter,
         };
         let csv_path = spec
             .has_csv

@@ -33,8 +33,8 @@ pub const DEFAULT_TEST_LEN: usize = 400_000;
 /// Parses `--records N` and `--seed N` style overrides from `args`.
 ///
 /// Recognized flags: `--records`, `--seed`, `--runs`, `--out`,
-/// `--budget-ms`, `--jobs`. Unknown flags are ignored so binaries can
-/// layer their own.
+/// `--budget-ms`, `--jobs`, `--prefilter`. Unknown flags are ignored so
+/// binaries can layer their own.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommonArgs {
     /// Trace length override.
@@ -51,6 +51,10 @@ pub struct CommonArgs {
     /// Worker threads for parallel sweeps (default: available
     /// parallelism). Results are byte-identical for any value.
     pub jobs: usize,
+    /// Screen candidate layouts with the static miss-bound analyzer and
+    /// simulate only the survivors (experiments that support it; off by
+    /// default because the default reports are the regression baseline).
+    pub prefilter: bool,
 }
 
 impl CommonArgs {
@@ -63,6 +67,7 @@ impl CommonArgs {
             out: None,
             budget_ms: None,
             jobs: tempo_par::available_parallelism(),
+            prefilter: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -92,6 +97,9 @@ impl CommonArgs {
                     if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                         args.jobs = v;
                     }
+                }
+                "--prefilter" => {
+                    args.prefilter = true;
                 }
                 _ => {}
             }

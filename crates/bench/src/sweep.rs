@@ -61,6 +61,61 @@ impl AlgorithmSpec {
     }
 }
 
+/// A deterministic adversarial candidate for prefilter runs: every
+/// popular procedure is placed at the next multiple of the cache size, so
+/// all of them land on the same cache sets and evict each other on every
+/// alternation; unpopular procedures are packed behind them. `variant`
+/// rotates the popular order, so successive variants are distinct layouts
+/// that are identically hopeless — exactly what a screening stage should
+/// reject without paying for a simulation.
+pub fn stacked_decoy(session: &tempo::ProfiledSession<'_>, variant: usize) -> Layout {
+    let program = session.program();
+    let cache = u64::from(session.cache().size());
+    let popular: Vec<ProcId> = session.profile().popular.iter().collect();
+    let mut addrs = vec![0u64; program.len()];
+    let mut cursor = 0u64;
+    for i in 0..popular.len() {
+        let id = popular[(i + variant) % popular.len()];
+        addrs[id.as_usize()] = cursor;
+        // Next multiple of the cache size past this procedure's end: the
+        // following popular procedure starts on cache offset 0 again.
+        let end = cursor + u64::from(program.size_of(id));
+        cursor = end.div_ceil(cache) * cache;
+    }
+    for id in session.profile().popular.iter_unpopular() {
+        addrs[id.as_usize()] = cursor;
+        cursor += u64::from(program.size_of(id));
+    }
+    Layout::from_addresses(addrs)
+}
+
+/// One screened cell of a prefiltered matrix: the candidate slate is the
+/// algorithm axis plus `decoys` stacked layouts, screened by the static
+/// miss-bound analyzer; only survivors were simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScreenedCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Cache geometry of the cell.
+    pub cache: CacheConfig,
+    /// Candidate count (algorithms + decoys).
+    pub candidates: usize,
+    /// Candidates the analyzer skipped without simulating.
+    pub screened: usize,
+    /// Skips that were interval-provable (vs model-margin based).
+    pub provable: usize,
+    /// Candidates actually simulated (`candidates - screened`).
+    pub simulated: usize,
+    /// Name of the winning candidate (fewest simulated misses, first in
+    /// slate order on ties) — byte-identical to the winner an unscreened
+    /// run picks whenever the screen is sound.
+    pub winner: String,
+    /// The winner's simulated miss count on the testing trace.
+    pub winner_misses: u64,
+    /// Total misses across all simulated survivors (for tallying).
+    pub misses: u64,
+}
+
 /// The axes of an evaluation matrix.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
@@ -197,6 +252,110 @@ impl SweepRunner {
         for (cell, outcome) in cells.iter().zip(outcomes) {
             match outcome {
                 Ok(mut cell_rows) => rows.append(&mut cell_rows),
+                Err(p) => errors.push(SweepError {
+                    benchmark: benchmarks[cell.model_idx].name().to_string(),
+                    cache: cell.cache.to_string(),
+                    message: p.message,
+                }),
+            }
+        }
+        if errors.is_empty() {
+            Ok(rows)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Runs the matrix through the static miss-bound prefilter: each cell
+    /// screens a candidate slate (the algorithm axis plus `decoys`
+    /// [`stacked_decoy`] layouts) and simulates only the survivors, via
+    /// [`ProfiledSession::evaluate_screened`](tempo::ProfiledSession::evaluate_screened).
+    ///
+    /// Cells come back in the same deterministic order as [`run`](Self::run).
+    /// The screening counters (`analyze.screened`, `analyze.simulated`,
+    /// `analyze.bound_width`) tick as a side effect.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Self::run): one [`SweepError`] per
+    /// panicked cell, no partial results.
+    ///
+    /// # Panics
+    ///
+    /// A cell panics if screening leaves no survivor — `screen_layouts`
+    /// guarantees at least one by construction, so this indicates a bug.
+    pub fn run_screened(
+        &self,
+        spec: &SweepSpec,
+        decoys: usize,
+    ) -> Result<Vec<ScreenedCell>, Vec<SweepError>> {
+        struct Cell {
+            model_idx: usize,
+            cache: CacheConfig,
+        }
+        let cells: Vec<Cell> = (0..spec.benchmarks.len())
+            .flat_map(|model_idx| {
+                spec.caches
+                    .iter()
+                    .map(move |&cache| Cell { model_idx, cache })
+            })
+            .collect();
+
+        let benchmarks = &spec.benchmarks;
+        let algorithms = &spec.algorithms;
+        let records = spec.records;
+        let jobs: Vec<_> = cells
+            .iter()
+            .map(|cell| {
+                let model = &benchmarks[cell.model_idx];
+                let cache = cell.cache;
+                move || -> ScreenedCell {
+                    let (train, test) = wpar::train_test_traces(model, records, &Pool::new(1));
+                    let session = Session::new(model.program(), cache).profile(&train);
+                    let mut names: Vec<String> = Vec::new();
+                    let mut layouts: Vec<Layout> = Vec::new();
+                    for alg in algorithms {
+                        names.push(alg.name().to_string());
+                        layouts.push(alg.place(&session));
+                    }
+                    for k in 0..decoys {
+                        names.push(format!("stacked{k}"));
+                        layouts.push(stacked_decoy(&session, k));
+                    }
+                    let (screen, stats) = session.evaluate_screened(&layouts, &test);
+                    let screened = screen.screened();
+                    let provable = screen
+                        .layouts
+                        .iter()
+                        .filter(|s| s.skip && s.provable)
+                        .count();
+                    let (winner_idx, winner_misses) = stats
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.as_ref().map(|s| (i, s.misses)))
+                        .min_by_key(|&(i, misses)| (misses, i))
+                        .expect("screening always leaves at least one survivor");
+                    ScreenedCell {
+                        benchmark: model.name(),
+                        cache,
+                        candidates: layouts.len(),
+                        screened,
+                        provable,
+                        simulated: layouts.len() - screened,
+                        winner: names[winner_idx].clone(),
+                        winner_misses,
+                        misses: stats.iter().flatten().map(|s| s.misses).sum(),
+                    }
+                }
+            })
+            .collect();
+
+        let outcomes = self.pool.run(jobs);
+        let mut rows = Vec::with_capacity(cells.len());
+        let mut errors = Vec::new();
+        for (cell, outcome) in cells.iter().zip(outcomes) {
+            match outcome {
+                Ok(row) => rows.push(row),
                 Err(p) => errors.push(SweepError {
                     benchmark: benchmarks[cell.model_idx].name().to_string(),
                     cache: cell.cache.to_string(),

@@ -61,6 +61,41 @@ pub fn simulate_configs(
     collect_or_panic(pool.run(jobs))
 }
 
+/// Simulates only the layouts whose mask slot is `true`, in parallel,
+/// returning `Some(stats)` for simulated slots and `None` for masked-out
+/// ones — the execution stage of a screened sweep (the mask typically
+/// comes from `tempo_analyze::screen_layouts`, which this crate cannot
+/// depend on; any prefilter works).
+///
+/// Increments the `analyze.simulated` counter once per simulated layout,
+/// so observability can report the screened/simulated split.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != layouts.len()`, and re-raises worker panics
+/// like [`simulate_layouts`].
+pub fn simulate_layouts_masked(
+    program: &Program,
+    layouts: &[Layout],
+    mask: &[bool],
+    trace: &Trace,
+    config: CacheConfig,
+    pool: &Pool,
+) -> Vec<Option<SimStats>> {
+    assert_eq!(mask.len(), layouts.len(), "one mask slot per layout");
+    let jobs: Vec<_> = layouts
+        .iter()
+        .zip(mask)
+        .filter(|(_, &keep)| keep)
+        .map(|(layout, _)| move || simulate(program, layout, trace, config))
+        .collect();
+    tempo_obs::counter("analyze.simulated").add(jobs.len() as u64);
+    let mut stats = collect_or_panic(pool.run(jobs)).into_iter();
+    mask.iter()
+        .map(|&keep| if keep { stats.next() } else { None })
+        .collect()
+}
+
 /// Simulates every layout against one *shared* pass over a [`TraceSource`]:
 /// each record is stepped through all `layouts.len()` simulators as it
 /// arrives, so N layouts cost one trace read and O(N caches) memory instead
@@ -147,6 +182,44 @@ mod tests {
             let par = simulate_layouts(&program, &layouts, &trace, config, &Pool::new(workers));
             assert_eq!(par, serial, "at {workers} workers");
         }
+    }
+
+    #[test]
+    fn masked_sweep_skips_and_preserves_order() {
+        let (program, trace) = fixture();
+        let config = CacheConfig::direct_mapped_8k();
+        let layouts = vec![
+            Layout::source_order(&program),
+            Layout::from_addresses(vec![0, 8192, 4096]),
+            Layout::from_addresses(vec![0, 12288, 4096]),
+        ];
+        let mask = vec![true, false, true];
+        let out = simulate_layouts_masked(&program, &layouts, &mask, &trace, config, &Pool::new(2));
+        assert_eq!(out.len(), 3);
+        assert!(out[1].is_none(), "masked-out slot is skipped");
+        for (i, keep) in [(0usize, true), (2, true)] {
+            assert_eq!(keep, out[i].is_some());
+            assert_eq!(
+                out[i].as_ref().unwrap(),
+                &simulate(&program, &layouts[i], &trace, config),
+                "slot {i} matches a direct simulation"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask slot per layout")]
+    fn masked_sweep_rejects_length_mismatch() {
+        let (program, trace) = fixture();
+        let layouts = vec![Layout::source_order(&program)];
+        simulate_layouts_masked(
+            &program,
+            &layouts,
+            &[true, false],
+            &trace,
+            CacheConfig::direct_mapped_8k(),
+            &Pool::new(1),
+        );
     }
 
     #[test]

@@ -671,16 +671,26 @@ pub fn analyze(args: &ArgMap) -> Result<(), CliError> {
         }
     };
     let top_k: usize = args.get_or("top", 8)?;
+    let bounds = args.switch("bounds");
     args.finish()?;
+    if bounds && profile.is_none() {
+        return Err(CliError::Usage(
+            "--bounds needs the popularity counts from --profile".to_string(),
+        ));
+    }
 
     let mut input = AnalysisInput::new(&program, &layout, cache);
     if let Some(p) = &profile {
         input = input
             .with_trg_place(&p.trg_place)
+            .with_trg_select(&p.trg_select)
             .with_wcg(&p.wcg)
             .with_popular(&p.popular);
     }
-    let report = Analyzer::new().with_top_k(top_k).analyze(&input);
+    let report = Analyzer::new()
+        .with_top_k(top_k)
+        .with_bounds(bounds)
+        .analyze(&input);
     match format.as_str() {
         "text" => print!("{}", report.render_text(&program)),
         "json" => println!("{}", report.render_json(&program)),
@@ -799,6 +809,7 @@ pub fn bench(args: &ArgMap) -> Result<(), CliError> {
     if let Some(only) = args.get("only") {
         opts.only = Some(only.split(',').map(|s| s.trim().to_string()).collect());
     }
+    opts.prefilter = args.switch("prefilter");
     args.finish()?;
 
     let report = match harness::run_all(&opts) {

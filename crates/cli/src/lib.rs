@@ -112,9 +112,11 @@ commands:
       CRC-framed, streamable) binary containers; input format is sniffed
   analyze   --program FILE --layout FILE [--profile FILE]
             [--cache SIZExLINExASSOC] [--format text|json]
-            [--deny warnings] [--top N]
-      lint a layout and statically predict conflict misses; exits 0 when
-      clean, 1 on failing diagnostics, 2 on usage errors
+            [--deny warnings] [--top N] [--bounds]
+      lint a layout and statically predict conflict misses; --bounds
+      (needs --profile) adds a sound [lo, hi] interval on the layout's
+      conflict misses; exits 0 when clean, 1 on failing diagnostics,
+      2 on usage errors
   trace-stats --program FILE --trace FILE [--window N] [--lossy|--strict]
       reuse-distance and working-set statistics
   compare   --program FILE --train FILE --test FILE
@@ -122,8 +124,11 @@ commands:
       profile on train, place with every algorithm, evaluate on test
   bench     [--records N] [--runs N] [--jobs N] [--seed N] [--out-dir DIR]
             [--bench-json PATH] [--no-bench-json] [--only NAMES] [--quiet]
+            [--prefilter]
       run the paper's experiment suite in parallel (same driver as
-      `tempo-bench run-all`); writes results/ and BENCH_run.json
+      `tempo-bench run-all`); writes results/ and BENCH_run.json;
+      --prefilter screens candidate layouts with the static miss-bound
+      analyzer before simulating (experiments that support it)
   stats     --metrics FILE
       render a --metrics-out JSON snapshot as the aligned text summary
 

@@ -240,6 +240,41 @@ impl<'p> ProfiledSession<'p> {
         simulate_layouts_streamed(self.program, layouts, source, self.profile.cache)
     }
 
+    /// Screens candidate layouts with the static miss-bound analyzer and
+    /// simulates only the survivors: candidates whose bounds (or Figure-6
+    /// predicted cost, see `tempo_analyze::screen_layouts`) prove they
+    /// cannot win are skipped, coming back as `None`. The screening
+    /// verdict and the per-survivor stats share indices with `layouts`.
+    ///
+    /// Counters: `analyze.screened` and `analyze.bound_width` from the
+    /// screening pass, `analyze.simulated` per survivor.
+    pub fn evaluate_screened(
+        &self,
+        layouts: &[Layout],
+        trace: &Trace,
+    ) -> (tempo_analyze::ScreenReport, Vec<Option<SimStats>>) {
+        let refs: Vec<&Layout> = layouts.iter().collect();
+        let screen = tempo_analyze::screen_layouts(
+            self.program,
+            self.profile.cache,
+            &self.profile.popular,
+            Some(&self.profile.trg_select),
+            Some(&self.profile.trg_place),
+            &refs,
+        );
+        let mask: Vec<bool> = screen.layouts.iter().map(|s| !s.skip).collect();
+        let _span = tempo_obs::span("stage.simulate");
+        let stats = tempo_cache::simulate_layouts_masked(
+            self.program,
+            layouts,
+            &mask,
+            trace,
+            self.profile.cache,
+            &tempo_par::Pool::new(1),
+        );
+        (screen, stats)
+    }
+
     /// Returns a copy of this session with the profile's graphs perturbed
     /// by the paper's §5.1 multiplicative noise.
     pub fn perturbed<R: rand::Rng + ?Sized>(&self, s: f64, rng: &mut R) -> ProfiledSession<'p> {
@@ -285,6 +320,38 @@ mod tests {
         assert!(sg.misses < sd.misses);
         assert_eq!(session.cache(), CacheConfig::direct_mapped_8k());
         assert_eq!(session.program().len(), 3);
+    }
+
+    #[test]
+    fn evaluate_screened_skips_hopeless_candidates_and_keeps_the_winner() {
+        // Everything fits in the cache (3 x 2048 <= 8192), so the analyzer
+        // is capacity-free and the forced lower bound is live.
+        let program = Program::builder()
+            .procedure("a", 2048)
+            .procedure("pad", 2048)
+            .procedure("b", 2048)
+            .build()
+            .unwrap();
+        let ids: Vec<ProcId> = program.ids().collect();
+        let mut refs = Vec::new();
+        for _ in 0..60 {
+            refs.extend([ids[0], ids[2]]);
+        }
+        let trace = Trace::from_full_records(&program, refs);
+        let session = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let good = session.place(&Gbsc::new());
+        // a and b stacked one cache apart: maximal conflict by design.
+        let stacked = Layout::from_addresses(vec![0, 2048, 8192]);
+        let candidates = vec![good.clone(), stacked];
+        let (screen, stats) = session.evaluate_screened(&candidates, &trace);
+        assert_eq!(screen.layouts.len(), 2);
+        assert!(!screen.layouts[0].skip, "the good layout survives");
+        assert!(screen.layouts[1].skip, "the stacked layout is screened");
+        assert!(stats[1].is_none());
+        // The surviving stats match an unscreened evaluation exactly.
+        assert_eq!(stats[0].as_ref().unwrap(), &session.evaluate(&good, &trace));
     }
 
     #[test]

@@ -33,9 +33,27 @@ pub fn chunk_occupancy(
     layout: &Layout,
     cache: CacheConfig,
 ) -> Vec<Vec<LineOccupant>> {
+    chunk_occupancy_covered(program, layout, cache)
+}
+
+/// Like [`chunk_occupancy`], but tolerates layouts that cover only a
+/// prefix of the program's procedure ids: chunks owned by uncovered
+/// procedures are simply absent from the occupancy. On a full layout the
+/// two functions are identical; on a truncated one this lets downstream
+/// consumers (the conflict predictor) still see pressure data for the
+/// covered subset instead of bailing out entirely.
+#[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
+pub fn chunk_occupancy_covered(
+    program: &Program,
+    layout: &Layout,
+    cache: CacheConfig,
+) -> Vec<Vec<LineOccupant>> {
     let lines = cache.lines();
     let mut occupancy: Vec<Vec<LineOccupant>> = vec![Vec::new(); lines as usize];
     for info in Chunks::new(program) {
+        if info.owner.as_usize() >= layout.len() {
+            continue;
+        }
         let addr = layout.addr(info.owner) + u64::from(info.offset);
         let nlines = cache.lines_touched(addr, info.len).min(u64::from(lines)) as u32;
         let first = cache.cache_line_of_addr(addr);
@@ -229,6 +247,24 @@ mod tests {
         g.add_weight(0, 1, 3.0);
         let cost = trg_conflict_cost(&program, &layout, &g, cache);
         assert_eq!(cost, 3.0 * f64::from(cache.lines()));
+    }
+
+    #[test]
+    fn covered_occupancy_skips_uncovered_procedures() {
+        let (program, _, _) = setup();
+        let cache = CacheConfig::direct_mapped_8k();
+        // Drop the last procedure's address: its chunks must vanish from
+        // the occupancy instead of panicking.
+        let truncated = Layout::from_addresses(vec![0, 4096]);
+        let occ = chunk_occupancy_covered(&program, &truncated, cache);
+        assert!(occ.iter().flatten().all(|o| o.owner != ProcId::new(2)));
+        assert!(occ.iter().flatten().any(|o| o.owner == ProcId::new(0)));
+        // On a full layout the covered variant is the plain one.
+        let full = Layout::source_order(&program);
+        assert_eq!(
+            chunk_occupancy(&program, &full, cache),
+            chunk_occupancy_covered(&program, &full, cache)
+        );
     }
 
     #[test]

@@ -143,7 +143,7 @@ fn injected_overlap_fails_with_l002() {
 }
 
 #[test]
-fn truncated_layout_fails_with_l001_only() {
+fn truncated_layout_fails_with_l001_and_partial_prediction() {
     let fx = &fixtures()[0];
     let program = fx.program();
     let mut addrs = addresses(program, fx.layout("gbsc"));
@@ -155,14 +155,17 @@ fn truncated_layout_fails_with_l001_only() {
     let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
     assert_eq!(
         codes,
-        vec!["L001"],
-        "address rules must not cascade or panic"
+        vec!["L001", "P001"],
+        "address rules must not cascade or panic; coverage gap is noted"
     );
     assert_eq!(report.exit_code(false), 1);
     assert!(
-        report.prediction().is_none(),
-        "no prediction for an uncovered program"
+        report.prediction().is_some(),
+        "the covered subset still gets pressure data"
     );
+    let p001 = &report.diagnostics()[1];
+    assert_eq!(p001.severity, Severity::Note);
+    assert!(p001.message.contains(&format!("{}", program.len() - 1)));
 }
 
 #[test]
@@ -268,6 +271,40 @@ fn predictor_ranking_matches_simulation_on_most_workloads() {
         agreements.len() >= 3,
         "predictor agreed with the simulator only on {agreements:?}"
     );
+}
+
+#[test]
+fn miss_bounds_are_sound_across_the_suite() {
+    // The tentpole invariant at fixture scale: on every workload the
+    // simulated conflict misses of every algorithm's layout fall inside
+    // the statically-derived interval (strict mode panics otherwise).
+    for fx in fixtures() {
+        let train = fx.model.training_trace(TRACE_LEN);
+        let layouts: Vec<&Layout> = fx.layouts.iter().map(|(_, l)| l).collect();
+        let v = predictor::cross_validate_bounds(fx.program(), &fx.profile, &layouts, &train, true);
+        assert!(v.is_sound());
+        for row in &v.rows {
+            assert!(
+                row.bounds.hi > 0,
+                "{}: a 200 KB+ program on 8 KB must have contested sets",
+                fx.model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn analyzer_attaches_bounds_on_request() {
+    let fx = &fixtures()[0];
+    let input = AnalysisInput::from_profile(fx.program(), fx.layout("gbsc"), &fx.profile);
+    let report = Analyzer::new().with_bounds(true).analyze(&input);
+    let b = report.bounds().expect("bounds requested and computable");
+    assert!(b.hi > 0);
+    assert!(b.lo <= b.hi);
+    let json = report.render_json(fx.program());
+    assert!(json.contains("\"bounds\":{\"lo\":"));
+    // Without the flag the report stays as before.
+    assert!(Analyzer::new().analyze(&input).bounds().is_none());
 }
 
 #[test]

@@ -506,6 +506,62 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Static miss-bound soundness
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant, adversarially: for random programs, traces,
+    /// and (shuffled, arbitrarily padded) layouts on direct-mapped caches,
+    /// the simulated conflict-miss count always falls inside the interval
+    /// the static analyzer derives from the profile alone.
+    #[test]
+    fn miss_bounds_contain_simulated_conflicts(
+        (program, trace) in program_and_trace(),
+        seed in any::<u64>(),
+        pad in 0u64..64,
+        cache_shift in 0u32..4,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        use tempo::analyze::miss_bounds;
+        use tempo::cache::classify;
+
+        // 1 KB .. 8 KB direct-mapped.
+        let cache = CacheConfig::direct_mapped(1024 << cache_shift).unwrap();
+        let session = Session::new(&program, cache)
+            .popularity(PopularitySelector::all())
+            .profile(&trace);
+        let profile = session.profile();
+
+        let mut order: Vec<ProcId> = program.ids().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let layout = Layout::from_order(&program, &order)
+            .unwrap()
+            .with_uniform_padding(&program, pad);
+
+        let b = miss_bounds(
+            &program,
+            &layout,
+            cache,
+            &profile.popular,
+            Some(&profile.trg_select),
+        );
+        prop_assert!(b.lo <= b.hi, "inconsistent interval {} from an honest profile", b);
+        let conflict = classify(&program, &layout, &trace, cache).conflict;
+        prop_assert!(
+            b.contains(conflict),
+            "simulated {} conflict misses escaped {} (capacity_free={})",
+            conflict,
+            b,
+            b.capacity_free
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Serialization roundtrips
 // ---------------------------------------------------------------------
 
