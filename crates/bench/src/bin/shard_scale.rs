@@ -1,0 +1,6 @@
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::shard_scale`].
+
+fn main() {
+    tempo_bench::harness::bin_main("shard_scale");
+}

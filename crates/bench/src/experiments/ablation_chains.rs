@@ -15,9 +15,9 @@ use tempo::place::{TrgChains, WcgOffsets};
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let models = suite::standard_suite();
@@ -61,7 +61,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    for (line, misses) in ctx.run_jobs(jobs) {
+    for (line, misses) in ctx.run_jobs(jobs)? {
         ctx.tally_misses(misses);
         outln!(ctx, "{line}");
     }
@@ -73,4 +73,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "only TRG selection *plus* the cache-aware offset scan (GBSC) does."
     );
+    Ok(())
 }

@@ -13,16 +13,17 @@ use tempo::prelude::*;
 use tempo::workloads::{par as wpar, suite};
 use tempo_par::Pool;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let models = suite::standard_suite();
     let records = ctx.args.records;
     let jobs: Vec<_> = models
         .iter()
         .map(|model| {
             move || {
-                let (train, _) = wpar::train_test_traces(model, records, &Pool::new(1));
+                let (train, _) = wpar::train_test_traces(model, records, &Pool::new(1))
+                    .unwrap_or_else(|p| panic!("{p}"));
                 let session =
                     Session::new(model.program(), CacheConfig::direct_mapped_8k()).profile(&train);
                 let layouts = [
@@ -46,7 +47,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    let results = ctx.run_jobs(jobs);
+    let results = ctx.run_jobs(jobs)?;
 
     let mut csv = Vec::new();
     let mut intervals = 0usize;
@@ -102,4 +103,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx.set_csv("benchmark,layout,lo,conflict,hi,capacity_free", csv);
         outln!(ctx, "wrote {path}");
     }
+    Ok(())
 }

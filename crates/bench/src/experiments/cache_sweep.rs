@@ -21,7 +21,7 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 use crate::sweep::{AlgorithmSpec, SweepRunner, SweepSpec};
 
 /// Decoy candidates added to each cell's slate under `--prefilter`.
@@ -39,20 +39,19 @@ fn spec(records: usize) -> SweepSpec {
     }
 }
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     if ctx.args.prefilter {
-        run_prefiltered(ctx);
+        run_prefiltered(ctx)
     } else {
-        run_full(ctx);
+        run_full(ctx)
     }
 }
 
-fn run_full(ctx: &mut Ctx) {
+fn run_full(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let spec = spec(ctx.args.records);
-    let rows = match SweepRunner::on(*ctx.pool()).run(&spec) {
-        Ok(rows) => rows,
-        Err(errors) => panic!("{}", errors[0]),
-    };
+    let rows = SweepRunner::on(*ctx.pool())
+        .run(&spec)
+        .map_err(|errors| ExperimentError::Other(errors[0].to_string()))?;
     ctx.note_cells(spec.benchmarks.len() * spec.caches.len());
 
     let mut csv = Vec::new();
@@ -109,14 +108,14 @@ fn run_full(ctx: &mut Ctx) {
         ctx,
         "paper: the GBSC advantage persists across smaller cache sizes."
     );
+    Ok(())
 }
 
-fn run_prefiltered(ctx: &mut Ctx) {
+fn run_prefiltered(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let spec = spec(ctx.args.records);
-    let cells = match SweepRunner::on(*ctx.pool()).run_screened(&spec, DECOYS) {
-        Ok(cells) => cells,
-        Err(errors) => panic!("{}", errors[0]),
-    };
+    let cells = SweepRunner::on(*ctx.pool())
+        .run_screened(&spec, DECOYS)
+        .map_err(|errors| ExperimentError::Other(errors[0].to_string()))?;
     ctx.note_cells(spec.benchmarks.len() * spec.caches.len());
 
     let mut csv = Vec::new();
@@ -175,4 +174,5 @@ fn run_prefiltered(ctx: &mut Ctx) {
         "screened {screened} of {candidates} candidate simulations ({:.0}%) without touching the winner column.",
         skip_fraction * 100.0
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
 /// Rebuilds `program` with a different chunk size (procedures unchanged).
 fn with_chunk_size(program: &Program, chunk_size: u32) -> Program {
@@ -26,7 +26,7 @@ fn with_chunk_size(program: &Program, chunk_size: u32) -> Program {
 
 const CHUNKS: [u32; 5] = [64, 128, 256, 512, 1024];
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let models = [suite::m88ksim(), suite::perl(), suite::go()];
@@ -45,7 +45,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
         .iter()
         .map(|model| move || (model.training_trace(records), model.testing_trace(records)))
         .collect();
-    let traces = ctx.run_jobs(trace_jobs);
+    let traces = ctx.run_jobs(trace_jobs)?;
 
     let cell_jobs: Vec<_> = models
         .iter()
@@ -61,7 +61,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             })
         })
         .collect();
-    let cells = ctx.run_jobs(cell_jobs);
+    let cells = ctx.run_jobs(cell_jobs)?;
 
     for (mi, model) in models.iter().enumerate() {
         let mut line = format!("{:<12}", model.name());
@@ -76,4 +76,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "\npaper: 256 bytes is the sweet spot; the curve should be shallow around it."
     );
+    Ok(())
 }

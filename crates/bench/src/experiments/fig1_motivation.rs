@@ -16,12 +16,12 @@
 
 use tempo::prelude::*;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
 const SLOT: u64 = 672; // 21 cache lines: three slots fill a 2 KB cache
 
 #[allow(clippy::cast_possible_truncation)] // bounded by construction (see expression)
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let program = Program::builder()
         .procedure("M", SLOT as u32)
         .procedure("X", SLOT as u32)
@@ -114,4 +114,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "TRG (which records the X-Y interleaving, or its absence) can tell."
     );
+    Ok(())
 }

@@ -8,9 +8,9 @@
 use tempo::prelude::*;
 use tempo::trg::QSet;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let program = Program::builder()
         .procedure("M", 512)
         .procedure("X", 512)
@@ -82,4 +82,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "\npaper: TRG edge weights are nearly double the WCG's; edges appear only\nwhere interleaving occurs (none between X and Y in trace #2)."
     );
+    Ok(())
 }

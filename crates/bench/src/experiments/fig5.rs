@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 use crate::sorted;
 
 fn algorithm(index: usize) -> Box<dyn PlacementAlgorithm> {
@@ -27,7 +27,7 @@ fn algorithm(index: usize) -> Box<dyn PlacementAlgorithm> {
     }
 }
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let runs = ctx.args.runs;
@@ -49,7 +49,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    let prepared = ctx.run_jobs(prep_jobs);
+    let prepared = ctx.run_jobs(prep_jobs)?;
 
     // Stage B: one cell per (benchmark, algorithm), each with the same
     // fresh RNG stream the serial loop used.
@@ -80,7 +80,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             })
         })
         .collect();
-    let cells = ctx.run_jobs(cell_jobs);
+    let cells = ctx.run_jobs(cell_jobs)?;
 
     for (mi, model) in models.iter().enumerate() {
         let (_, _, default_stats) = &prepared[mi];
@@ -123,4 +123,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         "paper: GBSC's point cloud sits left of PH and HKC for all benchmarks"
     );
     outln!(ctx, "except m88ksim and perl, where the ranges overlap.");
+    Ok(())
 }

@@ -19,16 +19,16 @@ use tempo::place::metric::{trg_conflict_cost, wcg_conflict_cost};
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 use crate::pearson;
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let runs = ctx.args.runs;
     let model = suite::go();
     let program = model.program();
-    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool());
+    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool())?;
     let session = Session::new(program, cache).profile(&train);
     let base = Gbsc::new().place_tuples(&session.context());
 
@@ -67,7 +67,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
     let mut trg_points = Vec::with_capacity(runs);
     let mut wcg_points = Vec::with_capacity(runs);
     let mut csv = Vec::with_capacity(runs);
-    for (run, (k, mr, trg_cost, wcg_cost, misses)) in ctx.run_jobs(jobs).into_iter().enumerate() {
+    for (run, (k, mr, trg_cost, wcg_cost, misses)) in ctx.run_jobs(jobs)?.into_iter().enumerate() {
         ctx.tally_misses(misses);
         trg_points.push((mr, trg_cost));
         wcg_points.push((mr, wcg_cost));
@@ -101,4 +101,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx.set_csv("run,k_mutated,miss_rate_pct,trg_cost,wcg_cost", csv);
         outln!(ctx, "wrote {path}");
     }
+    Ok(())
 }

@@ -10,7 +10,7 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
 fn algorithm(index: usize) -> Box<dyn PlacementAlgorithm> {
     match index {
@@ -20,12 +20,12 @@ fn algorithm(index: usize) -> Box<dyn PlacementAlgorithm> {
     }
 }
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let model = suite::m88ksim();
     let program = model.program();
-    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool());
+    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool())?;
     let session = Session::new(program, cache).profile(&train);
 
     let session_ref = &session;
@@ -46,7 +46,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    let results = ctx.run_jobs(jobs);
+    let results = ctx.run_jobs(jobs)?;
 
     outln!(ctx, "m88ksim ({records} records):");
     outln!(
@@ -68,4 +68,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "\npaper (train = test = dcrand): GBSC 0.13% < HKC 0.19% < PH 0.23% —\nthe ordering, not the absolute level, is the reproduction target."
     );
+    Ok(())
 }

@@ -16,9 +16,9 @@ use tempo::prelude::*;
 use tempo::workloads::suite;
 
 use crate::checked_place;
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let models = [suite::m88ksim(), suite::perl()];
@@ -41,7 +41,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    let prepared = ctx.run_jobs(prep_jobs);
+    let prepared = ctx.run_jobs(prep_jobs)?;
 
     let cell_jobs: Vec<_> = models
         .iter()
@@ -65,7 +65,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             })
         })
         .collect();
-    let cells = ctx.run_jobs(cell_jobs);
+    let cells = ctx.run_jobs(cell_jobs)?;
 
     for (mi, model) in models.iter().enumerate() {
         outln!(ctx, "=== {} ===", model.name());
@@ -94,4 +94,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "comes out of the conflict column — the misses the paper targets."
     );
+    Ok(())
 }

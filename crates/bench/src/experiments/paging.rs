@@ -15,9 +15,9 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let icache = CacheConfig::direct_mapped_8k();
     // 32-entry fully-associative LRU buffer of 4 KB pages.
     let pages = CacheConfig::new(32 * 4096, 4096, 32).expect("valid page buffer");
@@ -41,7 +41,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    let prepared = ctx.run_jobs(prep_jobs);
+    let prepared = ctx.run_jobs(prep_jobs)?;
 
     let cell_jobs: Vec<_> = models
         .iter()
@@ -65,7 +65,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             })
         })
         .collect();
-    let cells = ctx.run_jobs(cell_jobs);
+    let cells = ctx.run_jobs(cell_jobs)?;
 
     for (mi, model) in models.iter().enumerate() {
         outln!(ctx, "=== {} (32 x 4 KB LRU page buffer) ===", model.name());
@@ -94,4 +94,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         "cache-optimized layouts also page as well as (or better than) default —"
     );
     outln!(ctx, "the gaps are filled with unpopular code, not holes.");
+    Ok(())
 }

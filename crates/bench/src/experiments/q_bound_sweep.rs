@@ -13,11 +13,11 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
 const FACTORS: [u64; 4] = [1, 2, 4, 8];
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let models = [suite::m88ksim(), suite::go()];
@@ -26,7 +26,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
         .iter()
         .map(|model| move || (model.training_trace(records), model.testing_trace(records)))
         .collect();
-    let traces = ctx.run_jobs(trace_jobs);
+    let traces = ctx.run_jobs(trace_jobs)?;
 
     let cell_jobs: Vec<_> = models
         .iter()
@@ -53,7 +53,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             })
         })
         .collect();
-    let cells = ctx.run_jobs(cell_jobs);
+    let cells = ctx.run_jobs(cell_jobs)?;
 
     for (mi, model) in models.iter().enumerate() {
         outln!(ctx, "=== {} ===", model.name());
@@ -78,4 +78,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         "paper: 2x is the empirical sweet spot — gains flatten beyond it while"
     );
     outln!(ctx, "profile size keeps growing.");
+    Ok(())
 }

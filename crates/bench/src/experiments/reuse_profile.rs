@@ -13,9 +13,9 @@ use tempo::prelude::*;
 use tempo::trace::analysis::{reuse_distances, working_set_sizes};
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let c = u64::from(cache.size());
     let records = ctx.args.records;
@@ -57,7 +57,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    for line in ctx.run_jobs(jobs) {
+    for line in ctx.run_jobs(jobs)? {
         outln!(ctx, "{line}");
     }
     outln!(
@@ -68,4 +68,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "twice the cache size captures almost every placement-relevant reuse."
     );
+    Ok(())
 }

@@ -13,17 +13,17 @@ use rand::SeedableRng;
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 use crate::{median, sorted};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let runs = ctx.args.runs;
     let seed = ctx.args.seed;
     let model = suite::go();
     let program = model.program();
-    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool());
+    let (train, test) = tempo::workloads::par::train_test_traces(&model, records, ctx.pool())?;
     let session = Session::new(program, cache).profile(&train);
 
     outln!(
@@ -62,7 +62,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    for (s, rates, misses) in ctx.run_jobs(jobs) {
+    for (s, rates, misses) in ctx.run_jobs(jobs)? {
         ctx.tally_misses(misses);
         let v = sorted(&rates);
         outln!(
@@ -82,4 +82,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "degrade the average much (the placement relies on weight *order*)."
     );
+    Ok(())
 }

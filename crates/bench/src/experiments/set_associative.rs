@@ -9,9 +9,9 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let sa_cache = CacheConfig::two_way_8k();
     let records = ctx.args.records;
     let models = [suite::m88ksim(), suite::perl()];
@@ -73,7 +73,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    for (lines, misses) in ctx.run_jobs(jobs) {
+    for (lines, misses) in ctx.run_jobs(jobs)? {
         ctx.tally_misses(misses);
         for line in lines {
             outln!(ctx, "{line}");
@@ -87,4 +87,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "for LRU associative caches; the pair database models the two-victim rule."
     );
+    Ok(())
 }

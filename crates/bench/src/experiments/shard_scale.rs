@@ -1,0 +1,114 @@
+//! Sharded-profiling scale experiment: supervised shard fan-out vs the
+//! sequential profiler.
+//!
+//! Writes a v2 training trace to disk, profiles it through
+//! [`tempo::profile_sharded`] at several `--jobs`-style worker counts,
+//! and checks that the merged profile is identical to the sequential
+//! one at every level — the merge-exactness contract the shard seam
+//! warm-up guarantees (DESIGN.md §13).
+//!
+//! The text report carries only deterministic results (shard outcomes
+//! and the merge≡sequential verdict). Records/sec per jobs level and
+//! the retried/quarantined tallies go into `BENCH_run.json` via
+//! [`Ctx::metric`].
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::time::Instant;
+
+use tempo::prelude::*;
+use tempo::trace::v2::V2Writer;
+use tempo::workloads::suite;
+use tempo::{profile_sharded, ShardConfig};
+
+use crate::harness::{outln, Ctx, ExperimentError};
+
+const SHARDS: usize = 8;
+
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
+    let records = ctx.args.records;
+    let cache = CacheConfig::direct_mapped_8k();
+    let model = suite::perl();
+    let program = model.program();
+    let selector = PopularitySelector::coverage(0.995).with_min_count(2);
+
+    let trace = model.training_trace(records);
+    let path = std::env::temp_dir().join(format!("tempo-shard-scale-{}.tmp2", std::process::id()));
+    let result = (|| -> Result<(), ExperimentError> {
+        {
+            let mut w = V2Writer::new(BufWriter::new(File::create(&path)?))?;
+            pump(&mut MemorySource::new(&trace), &mut w)?;
+            w.finish()?;
+        }
+        let sequential = Profiler::new(program, cache)
+            .popularity(selector)
+            .profile(&trace);
+
+        outln!(
+            ctx,
+            "shard-scale: perl, {records} records, {SHARDS} shards per run"
+        );
+        outln!(ctx);
+        outln!(
+            ctx,
+            "{:>5} {:>10} {:>8} {:>12} {:>11}",
+            "jobs",
+            "completed",
+            "retried",
+            "quarantined",
+            "merge==seq"
+        );
+        let mut all_match = true;
+        for jobs in [1usize, 2, 4] {
+            let config = ShardConfig {
+                shards: SHARDS,
+                jobs,
+                ..ShardConfig::default()
+            };
+            let start = Instant::now();
+            let (profile, report) =
+                profile_sharded(program, cache, selector, false, &path, &config, None)?;
+            let wall = start.elapsed().as_secs_f64();
+            ctx.note_cells(SHARDS);
+            let matches = profile == sequential;
+            all_match &= matches;
+            outln!(
+                ctx,
+                "{jobs:>5} {:>10} {:>8} {:>12} {:>11}",
+                report.completed(),
+                report.retried,
+                report.quarantined(),
+                if matches { "yes" } else { "NO" }
+            );
+            #[allow(clippy::cast_precision_loss)] // record counts are tiny
+            {
+                if wall > 0.0 {
+                    ctx.metric(
+                        &format!("jobs{jobs}.records_per_sec"),
+                        report.covered_records as f64 / wall,
+                    );
+                }
+                ctx.metric(&format!("jobs{jobs}.shards_retried"), report.retried as f64);
+                ctx.metric(
+                    &format!("jobs{jobs}.shards_quarantined"),
+                    report.quarantined() as f64,
+                );
+            }
+        }
+        outln!(ctx);
+        outln!(
+            ctx,
+            "merged sharded profiles {} the sequential profile at every jobs level.",
+            if all_match { "match" } else { "DO NOT match" }
+        );
+        if all_match {
+            Ok(())
+        } else {
+            Err(ExperimentError::Other(
+                "sharded merge diverged from the sequential profile".to_string(),
+            ))
+        }
+    })();
+    let _ = std::fs::remove_file(&path);
+    result
+}

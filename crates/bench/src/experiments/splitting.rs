@@ -13,9 +13,9 @@ use tempo::place::splitting::{SplitPlan, SplitProgram};
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let models = suite::standard_suite();
@@ -69,7 +69,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    for (line, misses) in ctx.run_jobs(jobs) {
+    for (line, misses) in ctx.run_jobs(jobs)? {
         ctx.tally_misses(misses);
         outln!(ctx, "{line}");
     }
@@ -78,4 +78,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         "\npaper: splitting is orthogonal and should compound with GBSC"
     );
     outln!(ctx, "(negative delta = splitting helped).");
+    Ok(())
 }

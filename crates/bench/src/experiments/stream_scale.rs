@@ -18,9 +18,9 @@ use tempo::prelude::*;
 use tempo::workloads::suite;
 
 use crate::checked_place;
-use crate::harness::{outln, peak_rss_kb, Ctx};
+use crate::harness::{outln, peak_rss_kb, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let records = ctx.args.records;
     let cache = CacheConfig::direct_mapped_8k();
     let model = suite::m88ksim();
@@ -78,4 +78,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "peak RSS and records/sec are recorded in BENCH_run.json, not here:\nthe report must stay byte-identical across machines and --jobs values."
     );
+    Ok(())
 }

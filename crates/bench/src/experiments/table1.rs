@@ -8,9 +8,9 @@
 use tempo::prelude::*;
 use tempo::workloads::suite;
 
-use crate::harness::{outln, Ctx};
+use crate::harness::{outln, Ctx, ExperimentError};
 
-pub(crate) fn run(ctx: &mut Ctx) {
+pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let cache = CacheConfig::direct_mapped_8k();
     let records = ctx.args.records;
     let models = suite::standard_suite();
@@ -57,7 +57,7 @@ pub(crate) fn run(ctx: &mut Ctx) {
             }
         })
         .collect();
-    for (line, stats) in ctx.run_jobs(jobs) {
+    for (line, stats) in ctx.run_jobs(jobs)? {
         ctx.tally(stats);
         outln!(ctx, "{line}");
     }
@@ -69,4 +69,5 @@ pub(crate) fn run(ctx: &mut Ctx) {
         ctx,
         "  gs 1817K/372 104K/216 2.63% 18.7 | m88k 549K/460 21K/31 2.92% 8.5 | perl 664K/271 83K/36 4.19% 7.1 | vortex 1073K/923 117K/156 6.29% 26.4"
     );
+    Ok(())
 }

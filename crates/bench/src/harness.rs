@@ -2,7 +2,8 @@
 //! one driver.
 //!
 //! Every experiment (one per paper table/figure/ablation — see DESIGN.md
-//! §4) is a plain function `fn(&mut Ctx)` registered in [`REGISTRY`]. The
+//! §4) is a plain function `fn(&mut Ctx) -> Result<(), ExperimentError>`
+//! registered in [`REGISTRY`]. The
 //! context collects the experiment's console report, optional CSV rows,
 //! and evaluation counters instead of letting the experiment touch stdout
 //! or the filesystem; that indirection is what makes the same experiment
@@ -24,10 +25,91 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use tempo::prelude::SimStats;
-use tempo_par::Pool;
+use tempo_par::{JobPanic, Pool};
 
 use crate::json::Json;
 use crate::CommonArgs;
+
+/// A failure inside an experiment body, surfaced as a value so the
+/// driver records it (and `run-all` carries on) without unwinding.
+///
+/// Every parallel helper an experiment leans on reports its worker
+/// panics typed — [`JobPanic`] from [`Ctx::run_jobs`] and the
+/// tempo-workloads generators, [`SweepPanic`](tempo::cache::SweepPanic)
+/// from the tempo-cache sweep helpers — and the `From` impls fold them
+/// all into this one type so experiment bodies just use `?`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// A parallel job panicked on a pool worker.
+    Job(JobPanic),
+    /// A parallel sweep simulation cell panicked.
+    Sweep(tempo::cache::SweepPanic),
+    /// Streaming trace I/O failed.
+    Trace(tempo::trace::io::TraceIoError),
+    /// Sharded profiling failed at the supervisor level.
+    Shard(tempo::ShardError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Anything else, stringified.
+    Other(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Job(p) => write!(f, "parallel {p}"),
+            ExperimentError::Sweep(p) => write!(f, "{p}"),
+            ExperimentError::Trace(e) => write!(f, "trace i/o failed: {e}"),
+            ExperimentError::Shard(e) => write!(f, "sharded profiling failed: {e}"),
+            ExperimentError::Io(e) => write!(f, "i/o error: {e}"),
+            ExperimentError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Job(p) => Some(p),
+            ExperimentError::Sweep(p) => Some(p),
+            ExperimentError::Trace(e) => Some(e),
+            ExperimentError::Shard(e) => Some(e),
+            ExperimentError::Io(e) => Some(e),
+            ExperimentError::Other(_) => None,
+        }
+    }
+}
+
+impl From<JobPanic> for ExperimentError {
+    fn from(p: JobPanic) -> Self {
+        ExperimentError::Job(p)
+    }
+}
+
+impl From<tempo::cache::SweepPanic> for ExperimentError {
+    fn from(p: tempo::cache::SweepPanic) -> Self {
+        ExperimentError::Sweep(p)
+    }
+}
+
+impl From<tempo::trace::io::TraceIoError> for ExperimentError {
+    fn from(e: tempo::trace::io::TraceIoError) -> Self {
+        ExperimentError::Trace(e)
+    }
+}
+
+impl From<tempo::ShardError> for ExperimentError {
+    fn from(e: tempo::ShardError) -> Self {
+        ExperimentError::Shard(e)
+    }
+}
+
+impl From<std::io::Error> for ExperimentError {
+    fn from(e: std::io::Error) -> Self {
+        ExperimentError::Io(e)
+    }
+}
 
 /// Appends a line to an experiment's report: `outln!(ctx, "fmt", ...)`.
 macro_rules! outln {
@@ -111,12 +193,12 @@ impl Ctx {
     /// Runs `jobs` on the pool, in submission order, counting them toward
     /// the context's cell total.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Re-raises the first job panic on the calling thread (the driver
-    /// catches it per experiment, so one broken experiment cannot kill a
-    /// `run-all` sweep).
-    pub fn run_jobs<T, F>(&mut self, jobs: Vec<F>) -> Vec<T>
+    /// Returns the first job panic as a typed [`ExperimentError::Job`]
+    /// carrying the failing job's index; the experiment body propagates
+    /// it with `?` and the driver records the failure without unwinding.
+    pub fn run_jobs<T, F>(&mut self, jobs: Vec<F>) -> Result<Vec<T>, ExperimentError>
     where
         T: Send,
         F: FnOnce() -> T + Send,
@@ -125,10 +207,7 @@ impl Ctx {
         self.pool
             .run(jobs)
             .into_iter()
-            .map(|r| match r {
-                Ok(v) => v,
-                Err(p) => panic!("{p}"),
-            })
+            .map(|r| r.map_err(ExperimentError::from))
             .collect()
     }
 
@@ -199,7 +278,7 @@ pub struct ExperimentSpec {
     /// by the driver, or to `--out` by the standalone binary).
     pub has_csv: bool,
     /// The experiment body.
-    pub run: fn(&mut Ctx),
+    pub run: fn(&mut Ctx) -> Result<(), ExperimentError>,
 }
 
 /// Every experiment, in the order `run-all` executes them (the historical
@@ -357,6 +436,14 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         has_csv: false,
         run: crate::experiments::stream_scale::run,
     },
+    ExperimentSpec {
+        name: "shard_scale",
+        title: "Supervised sharded profiling (merge==sequential, per-jobs throughput)",
+        default_records: 200_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::shard_scale::run,
+    },
 ];
 
 /// Looks up an experiment by name.
@@ -378,7 +465,9 @@ pub fn bin_main(name: &str) {
     let args = CommonArgs::parse(spec.default_records, spec.default_runs);
     let csv_path = args.out.clone();
     let mut ctx = Ctx::new(args, csv_path.clone());
-    (spec.run)(&mut ctx);
+    if let Err(e) = (spec.run)(&mut ctx) {
+        panic!("experiment `{name}` failed: {e}");
+    }
     let out = ctx.finish();
     print!("{}", out.text);
     if let (Some(path), Some(csv)) = (&csv_path, &out.csv) {
@@ -562,14 +651,13 @@ pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
         // (trace.*, profile.*, place.*, sim.*) to this experiment.
         let obs_before = tempo::obs::snapshot();
         let start = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            (spec.run)(&mut ctx);
-        }));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (spec.run)(&mut ctx)));
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let obs_deltas = tempo::obs::snapshot().counter_deltas(&obs_before);
 
         let record = match outcome {
-            Ok(()) => {
+            Ok(Ok(())) => {
                 let mut out = ctx.finish();
                 out.metrics.extend(
                     obs_deltas
@@ -594,6 +682,16 @@ pub fn run_all(opts: &RunAllOpts) -> Result<RunAllReport, HarnessError> {
                     error: None,
                 }
             }
+            Ok(Err(e)) => ExperimentRecord {
+                name: spec.name.to_string(),
+                ok: false,
+                wall_ms,
+                cells: 0,
+                rows: 0,
+                misses: 0,
+                metrics: Vec::new(),
+                error: Some(e.to_string()),
+            },
             Err(payload) => {
                 let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
                     (*s).to_string()

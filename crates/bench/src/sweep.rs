@@ -228,7 +228,8 @@ impl SweepRunner {
                 let model = &benchmarks[cell.model_idx];
                 let cache = cell.cache;
                 move || -> Vec<SweepRow> {
-                    let (train, test) = wpar::train_test_traces(model, records, &Pool::new(1));
+                    let (train, test) = wpar::train_test_traces(model, records, &Pool::new(1))
+                        .unwrap_or_else(|p| panic!("{p}"));
                     let session = Session::new(model.program(), cache).profile(&train);
                     algorithms
                         .iter()
@@ -310,7 +311,8 @@ impl SweepRunner {
                 let model = &benchmarks[cell.model_idx];
                 let cache = cell.cache;
                 move || -> ScreenedCell {
-                    let (train, test) = wpar::train_test_traces(model, records, &Pool::new(1));
+                    let (train, test) = wpar::train_test_traces(model, records, &Pool::new(1))
+                        .unwrap_or_else(|p| panic!("{p}"));
                     let session = Session::new(model.program(), cache).profile(&train);
                     let mut names: Vec<String> = Vec::new();
                     let mut layouts: Vec<Layout> = Vec::new();
@@ -322,7 +324,9 @@ impl SweepRunner {
                         names.push(format!("stacked{k}"));
                         layouts.push(stacked_decoy(&session, k));
                     }
-                    let (screen, stats) = session.evaluate_screened(&layouts, &test);
+                    let (screen, stats) = session
+                        .evaluate_screened(&layouts, &test)
+                        .unwrap_or_else(|p| panic!("{p}"));
                     let screened = screen.screened();
                     let provable = screen
                         .layouts

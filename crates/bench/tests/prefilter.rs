@@ -31,7 +31,7 @@ fn spec() -> SweepSpec {
 /// returns the full-evaluation winner: first minimum by simulated misses
 /// in slate order.
 fn full_winner(model: &BenchmarkModel, cache: CacheConfig) -> String {
-    let (train, test) = wpar::train_test_traces(model, RECORDS, &Pool::new(1));
+    let (train, test) = wpar::train_test_traces(model, RECORDS, &Pool::new(1)).unwrap();
     let session = Session::new(model.program(), cache).profile(&train);
     let mut names: Vec<String> = Vec::new();
     let mut layouts: Vec<Layout> = Vec::new();
@@ -95,7 +95,7 @@ fn prefilter_skips_a_third_and_keeps_every_winner() {
 fn stacked_decoys_are_valid_distinct_and_bad() {
     let model = suite::m88ksim();
     let cache = CacheConfig::direct_mapped_8k();
-    let (train, test) = wpar::train_test_traces(&model, RECORDS, &Pool::new(1));
+    let (train, test) = wpar::train_test_traces(&model, RECORDS, &Pool::new(1)).unwrap();
     let session = Session::new(model.program(), cache).profile(&train);
     let gbsc = session.place(&Gbsc::new());
     let gbsc_misses = session.evaluate(&gbsc, &test).misses;

@@ -50,4 +50,5 @@ pub use config::{CacheConfig, CacheConfigError};
 pub use sim::{simulate, simulate_source, SimStats, Simulator};
 pub use sweep::{
     simulate_configs, simulate_layouts, simulate_layouts_masked, simulate_layouts_streamed,
+    SweepPanic,
 };

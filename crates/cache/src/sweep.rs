@@ -8,33 +8,68 @@
 //! helpers fan the cells out over a [`tempo_par::Pool`] while keeping the
 //! result order equal to the input order, worker count notwithstanding.
 
-use tempo_par::Pool;
+use std::fmt;
+
+use tempo_par::{JobPanic, Pool};
 use tempo_program::{Layout, Program};
 use tempo_trace::io::TraceIoError;
 use tempo_trace::{Trace, TraceSource};
 
 use crate::{simulate, CacheConfig, SimStats, Simulator};
 
+/// A worker panic surfaced from a parallel sweep as a value: which cell
+/// failed (submission order) and the stringified panic payload.
+///
+/// Sweep cells are pure simulations over validated inputs, so a panic here
+/// means a layout/program mismatch upstream — but it is reported to the
+/// caller instead of crossing the pool boundary, so one poisoned cell
+/// cannot take down a whole evaluation matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPanic {
+    /// Index of the failing cell among the submitted jobs (for masked
+    /// sweeps, the index among the cells that were actually simulated).
+    pub cell: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl fmt::Display for SweepPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep cell {} panicked: {}", self.cell, self.message)
+    }
+}
+
+impl std::error::Error for SweepPanic {}
+
+impl From<JobPanic> for SweepPanic {
+    fn from(p: JobPanic) -> Self {
+        SweepPanic {
+            cell: p.index,
+            message: p.message,
+        }
+    }
+}
+
 /// Simulates every layout in `layouts` against the same trace and cache
 /// config, in parallel, returning stats in `layouts` order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Re-raises a worker panic on the calling thread (the simulator itself
-/// does not panic on validated inputs; a panic here means a layout/program
-/// mismatch upstream).
+/// Returns the first worker panic as a [`SweepPanic`] (the simulator
+/// itself does not panic on validated inputs; a panic here means a
+/// layout/program mismatch upstream).
 pub fn simulate_layouts(
     program: &Program,
     layouts: &[Layout],
     trace: &Trace,
     config: CacheConfig,
     pool: &Pool,
-) -> Vec<SimStats> {
+) -> Result<Vec<SimStats>, SweepPanic> {
     let jobs: Vec<_> = layouts
         .iter()
         .map(|layout| move || simulate(program, layout, trace, config))
         .collect();
-    collect_or_panic(pool.run(jobs))
+    collect(pool.run(jobs))
 }
 
 /// Simulates one layout against every cache config in `configs`, in
@@ -43,9 +78,9 @@ pub fn simulate_layouts(
 /// This is the §5.2-style geometry sweep: independent configs sharing one
 /// read-only trace.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Re-raises a worker panic on the calling thread (see
+/// Returns the first worker panic as a [`SweepPanic`] (see
 /// [`simulate_layouts`]).
 pub fn simulate_configs(
     program: &Program,
@@ -53,12 +88,12 @@ pub fn simulate_configs(
     trace: &Trace,
     configs: &[CacheConfig],
     pool: &Pool,
-) -> Vec<SimStats> {
+) -> Result<Vec<SimStats>, SweepPanic> {
     let jobs: Vec<_> = configs
         .iter()
         .map(|&config| move || simulate(program, layout, trace, config))
         .collect();
-    collect_or_panic(pool.run(jobs))
+    collect(pool.run(jobs))
 }
 
 /// Simulates only the layouts whose mask slot is `true`, in parallel,
@@ -70,10 +105,14 @@ pub fn simulate_configs(
 /// Increments the `analyze.simulated` counter once per simulated layout,
 /// so observability can report the screened/simulated split.
 ///
+/// # Errors
+///
+/// Returns the first worker panic as a [`SweepPanic`] (the cell index
+/// counts simulated cells, not mask slots).
+///
 /// # Panics
 ///
-/// Panics if `mask.len() != layouts.len()`, and re-raises worker panics
-/// like [`simulate_layouts`].
+/// Panics if `mask.len() != layouts.len()`.
 pub fn simulate_layouts_masked(
     program: &Program,
     layouts: &[Layout],
@@ -81,7 +120,7 @@ pub fn simulate_layouts_masked(
     trace: &Trace,
     config: CacheConfig,
     pool: &Pool,
-) -> Vec<Option<SimStats>> {
+) -> Result<Vec<Option<SimStats>>, SweepPanic> {
     assert_eq!(mask.len(), layouts.len(), "one mask slot per layout");
     let jobs: Vec<_> = layouts
         .iter()
@@ -90,10 +129,11 @@ pub fn simulate_layouts_masked(
         .map(|(layout, _)| move || simulate(program, layout, trace, config))
         .collect();
     tempo_obs::counter("analyze.simulated").add(jobs.len() as u64);
-    let mut stats = collect_or_panic(pool.run(jobs)).into_iter();
-    mask.iter()
+    let mut stats = collect(pool.run(jobs))?.into_iter();
+    Ok(mask
+        .iter()
         .map(|&keep| if keep { stats.next() } else { None })
-        .collect()
+        .collect())
 }
 
 /// Simulates every layout against one *shared* pass over a [`TraceSource`]:
@@ -137,13 +177,10 @@ pub fn simulate_layouts_streamed<S: TraceSource>(
     Ok(all)
 }
 
-fn collect_or_panic(results: Vec<Result<SimStats, tempo_par::JobPanic>>) -> Vec<SimStats> {
+fn collect(results: Vec<Result<SimStats, JobPanic>>) -> Result<Vec<SimStats>, SweepPanic> {
     results
         .into_iter()
-        .map(|r| match r {
-            Ok(stats) => stats,
-            Err(p) => panic!("sweep simulation {p}"),
-        })
+        .map(|r| r.map_err(SweepPanic::from))
         .collect()
 }
 
@@ -179,7 +216,8 @@ mod tests {
             .map(|l| simulate(&program, l, &trace, config))
             .collect();
         for workers in [1, 2, 4, 8] {
-            let par = simulate_layouts(&program, &layouts, &trace, config, &Pool::new(workers));
+            let par =
+                simulate_layouts(&program, &layouts, &trace, config, &Pool::new(workers)).unwrap();
             assert_eq!(par, serial, "at {workers} workers");
         }
     }
@@ -194,7 +232,8 @@ mod tests {
             Layout::from_addresses(vec![0, 12288, 4096]),
         ];
         let mask = vec![true, false, true];
-        let out = simulate_layouts_masked(&program, &layouts, &mask, &trace, config, &Pool::new(2));
+        let out = simulate_layouts_masked(&program, &layouts, &mask, &trace, config, &Pool::new(2))
+            .unwrap();
         assert_eq!(out.len(), 3);
         assert!(out[1].is_none(), "masked-out slot is skipped");
         for (i, keep) in [(0usize, true), (2, true)] {
@@ -212,7 +251,7 @@ mod tests {
     fn masked_sweep_rejects_length_mismatch() {
         let (program, trace) = fixture();
         let layouts = vec![Layout::source_order(&program)];
-        simulate_layouts_masked(
+        let _ = simulate_layouts_masked(
             &program,
             &layouts,
             &[true, false],
@@ -257,8 +296,27 @@ mod tests {
             .map(|&c| simulate(&program, &layout, &trace, c))
             .collect();
         for workers in [1, 3, 8] {
-            let par = simulate_configs(&program, &layout, &trace, &configs, &Pool::new(workers));
+            let par =
+                simulate_configs(&program, &layout, &trace, &configs, &Pool::new(workers)).unwrap();
             assert_eq!(par, serial, "at {workers} workers");
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_a_typed_error() {
+        let (program, trace) = fixture();
+        // A layout that does not fit the program trips the simulator's
+        // input validation inside the worker.
+        let bogus = Layout::from_addresses(vec![0]);
+        let err = simulate_layouts(
+            &program,
+            &[Layout::source_order(&program), bogus],
+            &trace,
+            CacheConfig::direct_mapped_8k(),
+            &Pool::new(2),
+        )
+        .unwrap_err();
+        assert_eq!(err.cell, 1, "the failing cell is identified");
+        assert!(!err.message.is_empty());
     }
 }

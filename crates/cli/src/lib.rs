@@ -94,8 +94,17 @@ commands:
   profile   --program FILE --trace FILE [--cache SIZExLINExASSOC]
             [--coverage F] [--pair-db] [--lossy|--strict]
             [--stream] [--max-memory MB] --out FILE
+            [--shards N] [--jobs N] [--retries N] [--shard-deadline-ms N]
+            [--coverage-floor F] [--warmup-records N]
+            [--checkpoint-dir DIR] [--resume]
       build WCG + TRGs from a trace; --stream profiles in two
-      constant-memory passes without materializing the trace
+      constant-memory passes without materializing the trace;
+      --shards splits a v2 trace at frame boundaries and profiles the
+      pieces on a supervised worker pool (crashed/stalled shards are
+      retried then quarantined; the run fails if profiled coverage
+      drops below --coverage-floor, default 1.0); --checkpoint-dir
+      persists each finished shard so an interrupted run restarts
+      where it left off with --resume
   place     --program FILE --profile FILE --algorithm NAME --out FILE
             [--map FILE] [--budget-ms N] [--budget-work N]
       run a placement algorithm (default|random[:SEED]|ph|hkc|gbsc|gbsc-sa|

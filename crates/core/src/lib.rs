@@ -63,9 +63,14 @@ pub use tempo_workloads as workloads;
 
 mod compare;
 mod session;
+mod shard;
 
 pub use compare::{compare, Comparison, ComparisonRow};
 pub use session::{ProfiledSession, Session};
+pub use shard::{
+    plan_shards, profile_sharded, ShardConfig, ShardError, ShardFaultHook, ShardOutcome,
+    ShardRange, ShardReport, ShardStatus,
+};
 
 /// Convenient glob-import surface: the types used in almost every program.
 pub mod prelude {

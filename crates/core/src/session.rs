@@ -70,6 +70,39 @@ impl<'p> Session<'p> {
         )
     }
 
+    /// Profiles a v2 trace **file** in supervised parallel shards with
+    /// checkpoint/resume — see [`crate::profile_sharded`] for the
+    /// supervision, exactness, and checkpoint contracts. With the default
+    /// full-prefix warm-up the result is bit-identical to
+    /// [`profile_with`](Session::profile_with) over the same trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ShardError`]: scan/checkpoint failures, resume
+    /// mismatches, or quarantined shards breaching the coverage floor.
+    pub fn profile_sharded(
+        self,
+        trace_path: &std::path::Path,
+        config: &crate::ShardConfig,
+    ) -> Result<(ProfiledSession<'p>, crate::ShardReport), crate::ShardError> {
+        let (profile, report) = crate::profile_sharded(
+            self.program,
+            self.cache,
+            self.selector,
+            self.pair_db,
+            trace_path,
+            config,
+            None,
+        )?;
+        Ok((
+            ProfiledSession {
+                program: self.program,
+                profile,
+            },
+            report,
+        ))
+    }
+
     /// Profiles a training stream in constant memory.
     ///
     /// Streaming profiling is inherently two-pass — the popular set must be
@@ -248,11 +281,16 @@ impl<'p> ProfiledSession<'p> {
     ///
     /// Counters: `analyze.screened` and `analyze.bound_width` from the
     /// screening pass, `analyze.simulated` per survivor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`tempo_cache::SweepPanic`] if a simulation worker
+    /// panicked (a layout/program mismatch upstream).
     pub fn evaluate_screened(
         &self,
         layouts: &[Layout],
         trace: &Trace,
-    ) -> (tempo_analyze::ScreenReport, Vec<Option<SimStats>>) {
+    ) -> Result<(tempo_analyze::ScreenReport, Vec<Option<SimStats>>), tempo_cache::SweepPanic> {
         let refs: Vec<&Layout> = layouts.iter().collect();
         let screen = tempo_analyze::screen_layouts(
             self.program,
@@ -271,8 +309,8 @@ impl<'p> ProfiledSession<'p> {
             trace,
             self.profile.cache,
             &tempo_par::Pool::new(1),
-        );
-        (screen, stats)
+        )?;
+        Ok((screen, stats))
     }
 
     /// Returns a copy of this session with the profile's graphs perturbed
@@ -345,7 +383,7 @@ mod tests {
         // a and b stacked one cache apart: maximal conflict by design.
         let stacked = Layout::from_addresses(vec![0, 2048, 8192]);
         let candidates = vec![good.clone(), stacked];
-        let (screen, stats) = session.evaluate_screened(&candidates, &trace);
+        let (screen, stats) = session.evaluate_screened(&candidates, &trace).unwrap();
         assert_eq!(screen.layouts.len(), 2);
         assert!(!screen.layouts[0].skip, "the good layout survives");
         assert!(screen.layouts[1].skip, "the stacked layout is screened");

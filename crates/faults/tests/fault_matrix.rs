@@ -238,6 +238,161 @@ fn lossy_pipeline_places_cleanly_on_every_corrupted_trace() {
     }
 }
 
+/// Writes the fixture trace as a small-frame v2 file for sharded runs and
+/// returns its path plus the sequential profile to compare against.
+fn sharded_fixture(tag: &str) -> (Program, std::path::PathBuf, tempo::trg::ProfileData) {
+    let (program, v1) = fixture();
+    let bytes = v2_fixture_bytes(&v1);
+    let path = std::env::temp_dir().join(format!(
+        "tempo-fault-shards-{tag}-{}.tmp2",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).unwrap();
+    let sequential = {
+        let (session, _) = Session::new(&program, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .profile_with(|| {
+                let f = std::fs::File::open(&path).map_err(tempo::trace::io::TraceIoError::from)?;
+                tempo::trace::v2::V2Source::new(std::io::BufReader::new(f))
+            })
+            .unwrap();
+        session.profile().clone()
+    };
+    (program, path, sequential)
+}
+
+fn shard_config() -> tempo::ShardConfig {
+    tempo::ShardConfig {
+        shards: 4,
+        jobs: 2,
+        max_retries: 2,
+        retry_backoff: std::time::Duration::ZERO,
+        ..tempo::ShardConfig::default()
+    }
+}
+
+#[test]
+fn supervisor_retries_injected_kills_across_seeds_without_escaping_panics() {
+    use tempo_faults::{RuntimeFault, RuntimeFaultPlan};
+    let (program, path, sequential) = sharded_fixture("kill");
+    for seed in 0..4u64 {
+        let config = shard_config();
+        // A different shard dies on its first attempt each "seed".
+        let victim = usize::try_from(seed).unwrap() % config.shards;
+        let plan = RuntimeFaultPlan::new().fault(victim, 1, RuntimeFault::ShardKill);
+        let hook = plan.hook();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            tempo::profile_sharded(
+                &program,
+                CacheConfig::direct_mapped_8k(),
+                PopularitySelector::all(),
+                false,
+                &path,
+                &config,
+                Some(&hook),
+            )
+        }));
+        let result = outcome.unwrap_or_else(|_| panic!("supervisor leaked a panic: seed {seed}"));
+        let (profile, report) = result.unwrap_or_else(|e| panic!("run failed: seed {seed}: {e}"));
+        assert_eq!(report.quarantined(), 0, "seed {seed}");
+        assert!(report.retried >= 1, "seed {seed}: kill was never retried");
+        assert_eq!(
+            profile, sequential,
+            "seed {seed}: retry changed the profile"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn persistent_kill_quarantines_with_a_record_and_honors_the_coverage_floor() {
+    use tempo_faults::{RuntimeFault, RuntimeFaultPlan};
+    let (program, path, sequential) = sharded_fixture("quarantine");
+    // Fail shard 1 on every attempt.
+    let plan = RuntimeFaultPlan::new().fault(1, u32::MAX, RuntimeFault::ShardKill);
+    let hook = plan.hook();
+
+    // Strict floor (the default 1.0): the run fails with a typed error.
+    let err = tempo::profile_sharded(
+        &program,
+        CacheConfig::direct_mapped_8k(),
+        PopularitySelector::all(),
+        false,
+        &path,
+        &shard_config(),
+        Some(&hook),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, tempo::ShardError::CoverageFloor { quarantined: 1, .. }),
+        "expected a coverage-floor failure, got: {err}"
+    );
+
+    // Relaxed floor: the run completes minus the quarantined shard, and
+    // the outcome names the injected fault.
+    let config = tempo::ShardConfig {
+        coverage_floor: 0.5,
+        ..shard_config()
+    };
+    let (profile, report) = tempo::profile_sharded(
+        &program,
+        CacheConfig::direct_mapped_8k(),
+        PopularitySelector::all(),
+        false,
+        &path,
+        &config,
+        Some(&hook),
+    )
+    .unwrap();
+    assert_eq!(report.quarantined(), 1);
+    assert!(report.coverage() < 1.0 && report.coverage() >= 0.5);
+    let q = &report.outcomes[1];
+    match &q.status {
+        tempo::ShardStatus::Quarantined { attempts, error } => {
+            assert_eq!(*attempts, 3, "max_retries 2 means 3 attempts");
+            assert!(error.contains("injected shard-kill"), "error: {error}");
+        }
+        other => panic!("shard 1 should be quarantined, was {other:?}"),
+    }
+    // Dropping a shard can only lose edge weight, never invent it.
+    assert!(profile.wcg.total_weight() < sequential.wcg.total_weight());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn stalled_shard_trips_the_deadline_and_recovers_on_retry() {
+    use tempo_faults::{RuntimeFault, RuntimeFaultPlan};
+    let (program, path, sequential) = sharded_fixture("stall");
+    // The deadline must sit well above real per-shard work (tens of
+    // milliseconds in a debug build, but orders of magnitude more when
+    // the whole workspace test suite saturates the machine) and well
+    // below the injected stall — keep a wide gap on both sides.
+    let config = tempo::ShardConfig {
+        shard_deadline: Budget::millis(3000),
+        ..shard_config()
+    };
+    let plan = RuntimeFaultPlan::new().fault(
+        2,
+        1,
+        RuntimeFault::ShardStall(std::time::Duration::from_secs(10)),
+    );
+    let hook = plan.hook();
+    let (profile, report) = tempo::profile_sharded(
+        &program,
+        CacheConfig::direct_mapped_8k(),
+        PopularitySelector::all(),
+        false,
+        &path,
+        &config,
+        Some(&hook),
+    )
+    .unwrap();
+    assert!(report.retried >= 1, "stall was never retried");
+    assert_eq!(report.quarantined(), 0);
+    assert_eq!(profile, sequential, "stall retry changed the profile");
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn starved_budget_yields_analyzer_clean_identity_layout() {
     let (program, bytes) = fixture();

@@ -510,6 +510,86 @@ pub fn read_binary_v2<R: Read>(r: R) -> Result<Trace, TraceIoError> {
     Ok(trace)
 }
 
+// ---------------------------------------------------------------------
+// Frame scan (shard planning)
+// ---------------------------------------------------------------------
+
+/// One frame's position and size as reported by [`scan_frames`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEntry {
+    /// Byte offset of the frame header from the start of the stream
+    /// (the first frame sits right after the 8-byte file header).
+    pub offset: u64,
+    /// Declared payload length in bytes.
+    pub payload_len: u32,
+    /// Declared record count.
+    pub records: u32,
+}
+
+/// Scans a v2 stream's frame structure without decoding any records.
+///
+/// Reads each 12-byte frame header and discards the payload, yielding one
+/// [`FrameEntry`] per frame. Sharded profiling uses this to split a trace
+/// into record ranges aligned to frame boundaries. The scan is strict about
+/// structure (magic, version, payload bounds, truncation) but does **not**
+/// verify CRCs or decode varints — a later reading pass still validates
+/// frame contents.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic, an unsupported version, a declared
+/// payload over [`MAX_FRAME_PAYLOAD`], or a truncated frame.
+pub fn scan_frames<R: Read>(mut r: R) -> Result<Vec<FrameEntry>, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC_V2 {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION_V2 {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+
+    let mut frames = Vec::new();
+    let mut offset = 8u64;
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        let frame_index = frames.len() as u64;
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        let filled = crate::io::read_fully(&mut r, &mut header)?;
+        if filled == 0 {
+            return Ok(frames); // clean end of input at a frame boundary
+        }
+        if filled < header.len() {
+            return Err(TraceIoError::CorruptFrame { frame: frame_index });
+        }
+        let payload_len = u32::from_le_bytes(header[0..4].try_into().expect("slice is 4 bytes"));
+        let records = u32::from_le_bytes(header[4..8].try_into().expect("slice is 4 bytes"));
+        if payload_len > MAX_FRAME_PAYLOAD || u64::from(records) * 2 > u64::from(payload_len) {
+            return Err(TraceIoError::CorruptFrame { frame: frame_index });
+        }
+        // Skip the payload without holding it: plain `Read` has no seek,
+        // so drain through a bounded scratch buffer.
+        let mut remaining = payload_len as usize;
+        while remaining > 0 {
+            let want = remaining.min(scratch.len());
+            let got = crate::io::read_fully(&mut r, &mut scratch[..want])?;
+            if got == 0 {
+                return Err(TraceIoError::CorruptFrame { frame: frame_index });
+            }
+            remaining -= got;
+        }
+        frames.push(FrameEntry {
+            offset,
+            payload_len,
+            records,
+        });
+        offset += FRAME_HEADER_LEN as u64 + u64::from(payload_len);
+    }
+}
+
 /// Reads a whole v2 trace, recovering from corruption instead of failing.
 ///
 /// # Errors
@@ -841,6 +921,72 @@ mod tests {
         assert_eq!(w.bad_frames, 1);
         assert!(matches!(
             read_binary_v2(&buf[..]).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+    }
+
+    #[test]
+    fn scan_frames_reports_offsets_and_record_counts() {
+        let records: Vec<_> = (0..25)
+            .map(|i| TraceRecord::new(ProcId::new(i % 5), i + 1))
+            .collect();
+        let t = Trace::from_records(records);
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, 10).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        let frames = scan_frames(buf.as_slice()).unwrap();
+        assert_eq!(frames.len(), 3); // 10 + 10 + 5
+        assert_eq!(frames[0].offset, 8);
+        assert_eq!(frames.iter().map(|f| u64::from(f.records)).sum::<u64>(), 25);
+        assert_eq!(frames[2].records, 5);
+        // Offsets chain: each frame starts where the previous one ended.
+        for pair in frames.windows(2) {
+            assert_eq!(
+                pair[1].offset,
+                pair[0].offset + FRAME_HEADER_LEN as u64 + u64::from(pair[0].payload_len)
+            );
+        }
+        // Total structure accounts for every byte of the stream.
+        let last = frames.last().unwrap();
+        assert_eq!(
+            last.offset + FRAME_HEADER_LEN as u64 + u64::from(last.payload_len),
+            buf.len() as u64
+        );
+    }
+
+    #[test]
+    fn scan_frames_empty_trace_yields_no_frames() {
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &Trace::new()).unwrap();
+        assert!(scan_frames(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_frames_rejects_structural_damage() {
+        assert!(matches!(
+            scan_frames(&b"NOPE\x02\x00\x00\x00"[..]).unwrap_err(),
+            TraceIoError::BadMagic
+        ));
+
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        // Truncated payload.
+        let mut clipped = buf.clone();
+        clipped.truncate(clipped.len() - 2);
+        assert!(matches!(
+            scan_frames(clipped.as_slice()).unwrap_err(),
+            TraceIoError::CorruptFrame { frame: 0 }
+        ));
+        // Absurd declared payload length.
+        let mut hostile = buf.clone();
+        hostile[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            scan_frames(hostile.as_slice()).unwrap_err(),
             TraceIoError::CorruptFrame { frame: 0 }
         ));
     }

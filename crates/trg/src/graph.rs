@@ -173,6 +173,19 @@ impl WeightedGraph {
         self.adj.remove(&v);
     }
 
+    /// Adds every edge of `other` into this graph, summing weights where
+    /// both graphs carry the edge — the shard-merge operation.
+    ///
+    /// Edge weights are integer event counts (each trace event adds 1.0),
+    /// so merging is exact below 2^53 and therefore commutative and
+    /// associative: any merge order over any shard partition produces the
+    /// same graph.
+    pub fn merge_from(&mut self, other: &WeightedGraph) {
+        for e in other.edges() {
+            self.add_weight(e.a, e.b, e.w);
+        }
+    }
+
     /// Returns a copy with every weight multiplied by `exp(s·X)`,
     /// `X ~ N(0, 1)` — the paper's §5.1 profile perturbation. `s = 0`
     /// returns an identical copy.
@@ -327,6 +340,21 @@ mod tests {
         let q = g.perturbed(0.0, &mut rng);
         assert_eq!(q.weight(0, 1), 100.0);
         assert_eq!(q.weight(1, 2), 50.0);
+    }
+
+    #[test]
+    fn merge_from_sums_shared_edges_and_adopts_new_ones() {
+        let mut a: WeightedGraph = [(0, 1, 2.0), (1, 2, 3.0)].into_iter().collect();
+        let b: WeightedGraph = [(1, 0, 5.0), (2, 3, 7.0)].into_iter().collect();
+        a.merge_from(&b);
+        assert_eq!(a.weight(0, 1), 7.0);
+        assert_eq!(a.weight(1, 2), 3.0);
+        assert_eq!(a.weight(2, 3), 7.0);
+        assert_eq!(a.edge_count(), 3);
+        // Identity: merging an empty graph changes nothing.
+        let before = a.clone();
+        a.merge_from(&WeightedGraph::new());
+        assert_eq!(a, before);
     }
 
     #[test]

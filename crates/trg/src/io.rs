@@ -91,10 +91,17 @@ pub fn write_profile<W: Write>(mut w: W, profile: &ProfileData) -> Result<(), Pr
         profile.cache.line_size(),
         profile.cache.associativity()
     )?;
+    // The trailing sum/samples fields are the exact integer accumulators
+    // behind `average`; readers predating them ignore trailing fields, and
+    // this reader defaults them to zero when absent, so both directions
+    // stay compatible.
     writeln!(
         w,
-        "qstats {} {}",
-        profile.q_stats.average, profile.q_stats.max
+        "qstats {} {} {} {}",
+        profile.q_stats.average,
+        profile.q_stats.max,
+        profile.q_stats.occupancy_sum,
+        profile.q_stats.samples
     )?;
     writeln!(w, "popular {}", profile.popular.len())?;
     for i in 0..profile.popular.len() {
@@ -198,6 +205,20 @@ pub fn read_profile<R: BufRead>(r: R) -> Result<ProfileData, ProfileIoError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or(ProfileIoError::BadLine { line: ln })?;
+    // Optional exact accumulators (absent in files written before shard
+    // merging existed; such profiles merge with zero weight on `average`).
+    let occupancy_sum: u64 = match parts.next() {
+        None => 0,
+        Some(s) => s
+            .parse()
+            .map_err(|_| ProfileIoError::BadLine { line: ln })?,
+    };
+    let samples: u64 = match parts.next() {
+        None => 0,
+        Some(s) => s
+            .parse()
+            .map_err(|_| ProfileIoError::BadLine { line: ln })?,
+    };
 
     let (ln, pop_line) = lr.expect("popular")?;
     let mut parts = pop_line.split_whitespace();
@@ -316,7 +337,12 @@ pub fn read_profile<R: BufRead>(r: R) -> Result<ProfileData, ProfileIoError> {
         trg_select,
         trg_place,
         pair_db,
-        q_stats: QStats { average, max },
+        q_stats: QStats {
+            average,
+            max,
+            occupancy_sum,
+            samples,
+        },
     })
 }
 
@@ -431,6 +457,47 @@ mod tests {
             read_profile(src.as_bytes()).unwrap_err(),
             ProfileIoError::BadStructure(_)
         ));
+    }
+
+    #[test]
+    fn qstats_accumulators_roundtrip_and_old_files_still_parse() {
+        let p = sample_profile(false);
+        assert!(p.q_stats.samples > 0);
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &p).unwrap();
+        let back = read_profile(buf.as_slice()).unwrap();
+        assert_eq!(back.q_stats, p.q_stats);
+
+        // A pre-accumulator file (two-field qstats line) parses with the
+        // accumulators defaulted to zero.
+        let src = "tempo-profile v1\ncache 8192 32 1\nqstats 1.5 3\npopular 0\n\
+                   wcg 0\ntrg_select 0\ntrg_place 0\npairdb absent\n";
+        let old = read_profile(src.as_bytes()).unwrap();
+        assert_eq!(old.q_stats.average, 1.5);
+        assert_eq!(old.q_stats.max, 3);
+        assert_eq!(old.q_stats.occupancy_sum, 0);
+        assert_eq!(old.q_stats.samples, 0);
+    }
+
+    #[test]
+    fn hostile_declared_counts_fail_fast_without_preallocation() {
+        // Each section header declares an element count the reader must not
+        // trust with `Vec::with_capacity`: a count in the 2^60 range would
+        // abort on allocation if preallocated. All three shapes must fail
+        // with a parse error instead (missing entries), quickly and in
+        // bounded memory.
+        let huge = 1u64 << 60;
+        let popular =
+            format!("tempo-profile v1\ncache 8192 32 1\nqstats 0 0 0 0\npopular {huge}\n");
+        assert!(read_profile(popular.as_bytes()).is_err());
+        let graph =
+            format!("tempo-profile v1\ncache 8192 32 1\nqstats 0 0 0 0\npopular 0\nwcg {huge}\n");
+        assert!(read_profile(graph.as_bytes()).is_err());
+        let pairdb = format!(
+            "tempo-profile v1\ncache 8192 32 1\nqstats 0 0 0 0\npopular 0\n\
+             wcg 0\ntrg_select 0\ntrg_place 0\npairdb {huge}\n"
+        );
+        assert!(read_profile(pairdb.as_bytes()).is_err());
     }
 
     #[test]

@@ -63,5 +63,5 @@ mod qset;
 pub use graph::{Edge, WeightedGraph};
 pub use pairdb::PairDb;
 pub use popular::{PopularSet, PopularitySelector};
-pub use profiler::{ProfileData, ProfileStream, ProfileWarnings, Profiler, QStats};
+pub use profiler::{MergeError, ProfileData, ProfileStream, ProfileWarnings, Profiler, QStats};
 pub use qset::{QSet, QSetEvent};

@@ -122,6 +122,16 @@ impl PairDb {
         }
     }
 
+    /// Adds every association of `other` into this database, summing
+    /// weights — the shard-merge operation. Counts are integer event
+    /// tallies, so merging is exact, commutative, and associative.
+    pub fn merge_from(&mut self, other: &PairDb) {
+        for (k, w) in other.iter() {
+            *self.counts.entry(k).or_insert(0.0) += w;
+        }
+        self.index_dirty = true;
+    }
+
     /// Total weight across all associations.
     pub fn total_weight(&self) -> f64 {
         self.counts.values().sum()
@@ -193,6 +203,21 @@ mod tests {
         // Index refreshes after mutation.
         db.add(7, 5, 6, 1.0);
         assert_eq!(db.by_focal(7).len(), 3);
+    }
+
+    #[test]
+    fn merge_from_sums_associations() {
+        let mut a = PairDb::new();
+        a.add(0, 1, 2, 1.0);
+        let mut b = PairDb::new();
+        b.add(0, 2, 1, 2.0); // same association, swapped pair
+        b.add(3, 4, 5, 4.0);
+        a.merge_from(&b);
+        assert_eq!(a.get(0, 1, 2), 3.0);
+        assert_eq!(a.get(3, 4, 5), 4.0);
+        assert_eq!(a.len(), 2);
+        // The focal index refreshes after a merge.
+        assert_eq!(a.by_focal(3).len(), 1);
     }
 
     #[test]

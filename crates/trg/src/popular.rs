@@ -199,6 +199,33 @@ impl PopularSet {
     pub fn popular_size(&self, program: &Program) -> u64 {
         self.iter().map(|id| u64::from(program.size_of(id))).sum()
     }
+
+    /// Returns `true` when both sets mark exactly the same procedures
+    /// popular (including covering the same number of procedures) — the
+    /// compatibility requirement for shard-count merging.
+    pub fn same_membership(&self, other: &PopularSet) -> bool {
+        self.popular == other.popular
+    }
+
+    /// Adds `other`'s reference counts into this set, entry by entry.
+    ///
+    /// Shard profiles carry globally decided membership flags paired with
+    /// the counts observed in their own trace range; merging sums the
+    /// ranges' counts back into the global totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets differ in length or membership — check
+    /// [`same_membership`](PopularSet::same_membership) first.
+    pub fn merge_counts(&mut self, other: &PopularSet) {
+        assert!(
+            self.same_membership(other),
+            "popular membership must match to merge counts"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += *o;
+        }
+    }
 }
 
 impl fmt::Debug for PopularSet {
@@ -292,6 +319,24 @@ mod tests {
         let p = program(3);
         let set = PopularSet::from_parts(vec![true, false, true], vec![5, 1, 5]);
         assert_eq!(set.popular_size(&p), 200);
+    }
+
+    #[test]
+    fn merge_counts_sums_entrywise() {
+        let mut a = PopularSet::from_parts(vec![true, false], vec![3, 1]);
+        let b = PopularSet::from_parts(vec![true, false], vec![4, 2]);
+        assert!(a.same_membership(&b));
+        a.merge_counts(&b);
+        assert_eq!(a.count_of(ProcId::new(0)), 7);
+        assert_eq!(a.count_of(ProcId::new(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership must match")]
+    fn merge_counts_rejects_membership_mismatch() {
+        let mut a = PopularSet::from_parts(vec![true, false], vec![3, 1]);
+        let b = PopularSet::from_parts(vec![true, true], vec![4, 2]);
+        a.merge_counts(&b);
     }
 
     #[test]

@@ -18,7 +18,56 @@ pub struct QStats {
     pub average: f64,
     /// Maximum number of procedures resident in `Q`.
     pub max: usize,
+    /// Sum of live-entry counts over all occupancy samples — the exact
+    /// integer numerator behind `average`, carried so shard statistics
+    /// merge without precision loss.
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples — the exact denominator behind
+    /// `average`.
+    pub samples: u64,
 }
+
+impl QStats {
+    /// Combines shard statistics: the integer accumulators add, `max`
+    /// takes the maximum, and `average` is recomputed from the exact
+    /// sums — so any merge order over any shard partition reproduces the
+    /// sequential average bit-for-bit.
+    pub fn merge_from(&mut self, other: &QStats) {
+        self.occupancy_sum += other.occupancy_sum;
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+        self.average = if self.samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.samples as f64
+        };
+    }
+}
+
+/// Why two shard profiles refused to [`merge`](ProfileData::merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// The profiles were gathered for different cache geometries.
+    CacheMismatch,
+    /// The popular sets disagree on length or membership (shards must
+    /// share the globally decided popular set).
+    PopularMismatch,
+    /// One profile carries a pair database and the other does not.
+    PairDbMismatch,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::CacheMismatch => write!(f, "profiles target different cache geometries"),
+            MergeError::PopularMismatch => write!(f, "profiles disagree on popular membership"),
+            MergeError::PairDbMismatch => write!(f, "pair database present in only one profile"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Tallies of defective trace records the profiler repaired or dropped.
 ///
@@ -103,6 +152,47 @@ pub struct ProfileData {
 }
 
 impl ProfileData {
+    /// Merges `other` (a shard profile) into `self`, summing graph
+    /// weights, pair-database counts, popular reference counts, and the
+    /// exact Q-occupancy accumulators.
+    ///
+    /// All summed quantities are integer event counts, so the operation
+    /// is commutative and associative: merging the shard profiles of any
+    /// partition of a trace, in any order, produces one result — and when
+    /// every shard warmed up over its full prefix (see
+    /// [`ProfileStream::observe_warmup`]), that result is identical to
+    /// the sequential profile.
+    ///
+    /// # Errors
+    ///
+    /// Fails without modifying `self` when the profiles disagree on cache
+    /// geometry, popular membership, or pair-database presence.
+    pub fn merge(&mut self, other: &ProfileData) -> Result<(), MergeError> {
+        if self.cache != other.cache {
+            return Err(MergeError::CacheMismatch);
+        }
+        if !self.popular.same_membership(&other.popular) {
+            return Err(MergeError::PopularMismatch);
+        }
+        if self.pair_db.is_some() != other.pair_db.is_some() {
+            return Err(MergeError::PairDbMismatch);
+        }
+        self.popular.merge_counts(&other.popular);
+        self.wcg.merge_from(&other.wcg);
+        self.trg_select.merge_from(&other.trg_select);
+        self.trg_place.merge_from(&other.trg_place);
+        if let (Some(db), Some(o)) = (self.pair_db.as_mut(), other.pair_db.as_ref()) {
+            db.merge_from(o);
+        }
+        self.q_stats.merge_from(&other.q_stats);
+        tempo_obs::counter("profile.merges").incr();
+        tempo_obs::counter("profile.merged_edges").add(
+            (other.wcg.edge_count() + other.trg_select.edge_count() + other.trg_place.edge_count())
+                as u64,
+        );
+        Ok(())
+    }
+
     /// Returns a copy with `wcg`, `trg_select`, and `trg_place` perturbed by
     /// the paper's multiplicative noise ŵ = w·exp(sX) (§5.1). The pair
     /// database, popularity, and statistics are shared unchanged.
@@ -295,6 +385,8 @@ impl<'p> Profiler<'p> {
             prev: None,
             records: 0,
             warnings: ProfileWarnings::default(),
+            evict_base_proc: 0,
+            evict_base_chunk: 0,
         }
     }
 }
@@ -317,6 +409,10 @@ pub struct ProfileStream<'p> {
     prev: Option<tempo_program::ProcId>,
     records: u64,
     warnings: ProfileWarnings,
+    /// Eviction counts at the warm-up → measurement transition, so the
+    /// observability counters report measured-range evictions only.
+    evict_base_proc: u64,
+    evict_base_chunk: u64,
 }
 
 impl ProfileStream<'_> {
@@ -382,6 +478,57 @@ impl ProfileStream<'_> {
         }
     }
 
+    /// Replays one record for shard warm-up: the Q-sets and the
+    /// previous-procedure state advance exactly as
+    /// [`observe`](ProfileStream::observe) would move them, but no edges,
+    /// record counts, or warning tallies are recorded — those records
+    /// belong to a preceding shard's measured range, which accounts for
+    /// them.
+    ///
+    /// Because Q-set contents are determined by the reference history, a
+    /// shard that warms up over its **entire** trace prefix reconstructs
+    /// the sequential profiler's exact state at its start position, so
+    /// the merged shard profiles equal the sequential profile
+    /// bit-for-bit. Capping the warm-up window trades that exactness for
+    /// speed: blocks whose reuse distance exceeds the window are missing
+    /// from `Q` at measurement start, which can only *drop* seam-local
+    /// TRG increments, never invent them (see DESIGN.md §13).
+    ///
+    /// After the warm-up prefix, call
+    /// [`begin_measurement`](ProfileStream::begin_measurement) once, then
+    /// switch to `observe`.
+    pub fn observe_warmup(&mut self, record: &TraceRecord) {
+        if record.proc.as_usize() >= self.program.len() || record.bytes == 0 {
+            return;
+        }
+        self.prev = Some(record.proc);
+        if !self.popular.is_popular(record.proc) {
+            return;
+        }
+        let size = self.program.size_of(record.proc);
+        self.q_proc.process(record.proc.index(), size);
+        let bytes = record.bytes.min(size);
+        let first_chunk = self.program.chunks_of(record.proc).start;
+        let executed = (bytes - 1) / self.program.chunk_size() + 1;
+        for k in 0..executed {
+            let chunk = first_chunk + k;
+            let clen = self.program.chunk_len(ChunkId::new(chunk));
+            self.q_chunk.process(chunk, clen);
+        }
+    }
+
+    /// Marks the warm-up → measurement transition: occupancy statistics
+    /// and eviction baselines gathered while replaying the warm-up prefix
+    /// are discarded, so [`QStats`] and the eviction counters cover
+    /// exactly the measured range. The Q-set *contents* are kept — they
+    /// are the point of warming up.
+    pub fn begin_measurement(&mut self) {
+        self.q_proc.reset_occupancy();
+        self.q_chunk.reset_occupancy();
+        self.evict_base_proc = self.q_proc.evictions();
+        self.evict_base_chunk = self.q_chunk.evictions();
+    }
+
     /// Consumes an entire source, observing every record.
     ///
     /// # Errors
@@ -418,8 +565,10 @@ impl ProfileStream<'_> {
     /// the edge counts of the three graphs, and dropped/clamped tallies.
     pub fn finish(self) -> ProfileData {
         tempo_obs::counter("profile.records").add(self.records);
-        tempo_obs::counter("profile.qset_proc_evictions").add(self.q_proc.evictions());
-        tempo_obs::counter("profile.qset_chunk_evictions").add(self.q_chunk.evictions());
+        tempo_obs::counter("profile.qset_proc_evictions")
+            .add(self.q_proc.evictions() - self.evict_base_proc);
+        tempo_obs::counter("profile.qset_chunk_evictions")
+            .add(self.q_chunk.evictions() - self.evict_base_chunk);
         tempo_obs::counter("profile.wcg_edges").add(self.wcg.edge_count() as u64);
         tempo_obs::counter("profile.trg_select_edges").add(self.trg_select.edge_count() as u64);
         tempo_obs::counter("profile.trg_place_edges").add(self.trg_place.edge_count() as u64);
@@ -440,6 +589,8 @@ impl ProfileStream<'_> {
             q_stats: QStats {
                 average: self.q_proc.average_occupancy(),
                 max: self.q_proc.max_occupancy(),
+                occupancy_sum: self.q_proc.occupancy_sum(),
+                samples: self.q_proc.occupancy_samples(),
             },
         }
     }
@@ -686,6 +837,96 @@ mod tests {
             batch.trg_place.total_weight()
         );
         assert_eq!(streamed.q_stats, batch.q_stats);
+    }
+
+    /// Global membership flags paired with the reference counts of one
+    /// shard's measured range — what the sharded pipeline hands each shard.
+    fn shard_popular(global: &PopularSet, p: &Program, records: &[TraceRecord]) -> PopularSet {
+        let flags: Vec<bool> = (0..p.len())
+            .map(|i| global.is_popular(ProcId::new(i as u32)))
+            .collect();
+        let mut counts = vec![0u64; p.len()];
+        for r in records {
+            if r.proc.as_usize() < p.len() {
+                counts[r.proc.as_usize()] += 1;
+            }
+        }
+        PopularSet::from_parts(flags, counts)
+    }
+
+    #[test]
+    fn sharded_warmup_merge_equals_sequential() {
+        let p = program();
+        let t = trace1(&p, 25);
+        let cache = CacheConfig::direct_mapped_8k();
+        let global = PopularitySelector::all().select(&p, &t);
+        let sequential = Profiler::new(&p, cache)
+            .with_popular(global.clone())
+            .profile(&t);
+
+        let records: Vec<TraceRecord> = t.iter().copied().collect();
+        let mid = records.len() / 2;
+
+        let mut s0 =
+            Profiler::new(&p, cache).into_stream(shard_popular(&global, &p, &records[..mid]));
+        for r in &records[..mid] {
+            s0.observe(r);
+        }
+        let prof0 = s0.finish();
+
+        let mut s1 =
+            Profiler::new(&p, cache).into_stream(shard_popular(&global, &p, &records[mid..]));
+        for r in &records[..mid] {
+            s1.observe_warmup(r);
+        }
+        s1.begin_measurement();
+        for r in &records[mid..] {
+            s1.observe(r);
+        }
+        let prof1 = s1.finish();
+
+        let mut merged = prof0.clone();
+        merged.merge(&prof1).unwrap();
+        assert_eq!(merged, sequential, "full-prefix warm-up must be exact");
+
+        // Commutativity: the opposite merge order is the same profile.
+        let mut swapped = prof1.clone();
+        swapped.merge(&prof0).unwrap();
+        assert_eq!(swapped, sequential);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_profiles() {
+        let p = program();
+        let prof = profile(&p, &trace1(&p, 5));
+
+        let mut other = prof.clone();
+        other.cache = CacheConfig::direct_mapped(4096).unwrap();
+        assert_eq!(prof.clone().merge(&other), Err(MergeError::CacheMismatch));
+
+        let mut other = prof.clone();
+        other.popular = PopularSet::from_parts(vec![true], vec![1]);
+        assert_eq!(prof.clone().merge(&other), Err(MergeError::PopularMismatch));
+
+        let mut other = prof.clone();
+        other.pair_db = Some(PairDb::new());
+        assert_eq!(prof.clone().merge(&other), Err(MergeError::PairDbMismatch));
+
+        // A failed merge leaves the target untouched.
+        let mut a = prof.clone();
+        let _ = a.merge(&other);
+        assert_eq!(a, prof);
+    }
+
+    #[test]
+    fn q_stats_carry_exact_accumulators() {
+        let p = program();
+        let prof = profile(&p, &trace1(&p, 10));
+        assert!(prof.q_stats.samples > 0);
+        assert_eq!(
+            prof.q_stats.average,
+            prof.q_stats.occupancy_sum as f64 / prof.q_stats.samples as f64
+        );
     }
 
     #[test]

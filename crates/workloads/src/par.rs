@@ -8,7 +8,7 @@
 //! [`tempo_par::Pool`] and return traces in request order, identical to
 //! the serial result for any worker count.
 
-use tempo_par::Pool;
+use tempo_par::{JobPanic, Pool};
 use tempo_trace::Trace;
 
 use crate::{BenchmarkModel, Executor, InputSpec};
@@ -16,38 +16,37 @@ use crate::{BenchmarkModel, Executor, InputSpec};
 /// Generates one trace per `(input, len)` request, in parallel, in
 /// request order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Re-raises a worker panic on the calling thread (generation itself does
-/// not panic for valid models).
-pub fn traces(model: &BenchmarkModel, requests: &[(InputSpec, usize)], pool: &Pool) -> Vec<Trace> {
+/// Returns the first worker panic as a [`JobPanic`] carrying the failing
+/// request's index (generation itself does not panic for valid models).
+pub fn traces(
+    model: &BenchmarkModel,
+    requests: &[(InputSpec, usize)],
+    pool: &Pool,
+) -> Result<Vec<Trace>, JobPanic> {
     let jobs: Vec<_> = requests
         .iter()
         .map(|&(input, len)| move || Executor::new(model, input).generate(len))
         .collect();
-    pool.run(jobs)
-        .into_iter()
-        .map(|r| match r {
-            Ok(trace) => trace,
-            Err(p) => panic!("trace generation {p}"),
-        })
-        .collect()
+    pool.run(jobs).into_iter().collect()
 }
 
 /// Generates a family of traces that differ only in their seed (the
 /// multi-seed shape used by robustness and perturbation sweeps), in
 /// parallel, in `seeds` order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Re-raises a worker panic on the calling thread.
+/// Returns the first worker panic as a [`JobPanic`] (the index is the
+/// failing seed's position).
 pub fn multi_seed_traces(
     model: &BenchmarkModel,
     base: InputSpec,
     seeds: &[u64],
     len: usize,
     pool: &Pool,
-) -> Vec<Trace> {
+) -> Result<Vec<Trace>, JobPanic> {
     let requests: Vec<(InputSpec, usize)> = seeds
         .iter()
         .map(|&seed| (InputSpec { seed, ..base }, len))
@@ -58,19 +57,24 @@ pub fn multi_seed_traces(
 /// Generates the model's training and testing traces concurrently — the
 /// setup step every experiment cell starts with.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Re-raises a worker panic on the calling thread.
-pub fn train_test_traces(model: &BenchmarkModel, len: usize, pool: &Pool) -> (Trace, Trace) {
+/// Returns the first worker panic as a [`JobPanic`] (index 0 = train,
+/// 1 = test).
+pub fn train_test_traces(
+    model: &BenchmarkModel,
+    len: usize,
+    pool: &Pool,
+) -> Result<(Trace, Trace), JobPanic> {
     let mut out = traces(
         model,
         &[(model.training_input(), len), (model.testing_input(), len)],
         pool,
-    )
+    )?
     .into_iter();
     let train = out.next().expect("two traces requested");
     let test = out.next().expect("two traces requested");
-    (train, test)
+    Ok((train, test))
 }
 
 #[cfg(test)]
@@ -91,7 +95,7 @@ mod tests {
             .map(|&(input, len)| Executor::new(&model, input).generate(len))
             .collect();
         for workers in [1, 2, 4] {
-            let par = traces(&model, &requests, &Pool::new(workers));
+            let par = traces(&model, &requests, &Pool::new(workers)).unwrap();
             assert_eq!(par, serial, "at {workers} workers");
         }
     }
@@ -100,7 +104,8 @@ mod tests {
     fn multi_seed_family_varies_only_by_seed() {
         let model = suite::perl();
         let pool = Pool::new(4);
-        let family = multi_seed_traces(&model, model.training_input(), &[1, 2, 1], 2_000, &pool);
+        let family =
+            multi_seed_traces(&model, model.training_input(), &[1, 2, 1], 2_000, &pool).unwrap();
         assert_eq!(family.len(), 3);
         assert_eq!(family[0], family[2], "same seed, same trace");
         assert_ne!(family[0], family[1], "different seed, different trace");
@@ -109,7 +114,7 @@ mod tests {
     #[test]
     fn train_test_pair_matches_the_model_methods() {
         let model = suite::go();
-        let (train, test) = train_test_traces(&model, 2_000, &Pool::new(2));
+        let (train, test) = train_test_traces(&model, 2_000, &Pool::new(2)).unwrap();
         assert_eq!(train, model.training_trace(2_000));
         assert_eq!(test, model.testing_trace(2_000));
     }
