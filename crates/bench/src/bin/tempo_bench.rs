@@ -8,8 +8,9 @@
 //!   completed, 1 when any failed, 2 on usage/filesystem errors.
 //! * `list` — print the experiment registry.
 //! * `check-regression` — compare a `BENCH_run.json` against a checked-in
-//!   baseline: simulated miss counts must match exactly and total wall
-//!   time must stay within the slack. Exit 0 pass, 1 fail, 2 on errors.
+//!   baseline: simulated miss counts must match exactly, total wall time
+//!   must stay within the slack, and per-experiment streaming throughput
+//!   must stay above the ratchet floor. Exit 0 pass, 1 fail, 2 on errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,7 +37,12 @@ commands:
   check-regression   compare a run record against a baseline
     --current PATH     run record to check (default: BENCH_run.json)
     --baseline PATH    baseline record (default: results/bench_baseline.json)
-    --wall-slack PCT   allowed total wall-time regression (default 25)
+    --wall-slack PCT   allowed total wall-time regression (default 20)
+    --throughput-floor PCT
+                       minimum records/sec retained per experiment, as a
+                       percentage of the baseline's records_per_sec
+                       metric (default 70; experiments without the
+                       metric are exempt)
 ";
 
 fn main() -> ExitCode {
@@ -160,7 +166,8 @@ fn run_all(args: &[String]) -> ExitCode {
 fn check_regression(args: &[String]) -> ExitCode {
     let mut current = PathBuf::from("BENCH_run.json");
     let mut baseline = PathBuf::from("results/bench_baseline.json");
-    let mut wall_slack = 25.0f64;
+    let mut wall_slack = 20.0f64;
+    let mut throughput_floor = 70.0f64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -175,6 +182,10 @@ fn check_regression(args: &[String]) -> ExitCode {
             "--wall-slack" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(v) => wall_slack = v,
                 None => return usage_error("--wall-slack needs a number"),
+            },
+            "--throughput-floor" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) => throughput_floor = v,
+                None => return usage_error("--throughput-floor needs a number"),
             },
             other => return usage_error(&format!("unknown check-regression flag `{other}`")),
         }
@@ -193,7 +204,7 @@ fn check_regression(args: &[String]) -> ExitCode {
         }
     };
 
-    let verdict = harness::check_regression(&cur, &base, wall_slack);
+    let verdict = harness::check_regression(&cur, &base, wall_slack, throughput_floor);
     for note in &verdict.notes {
         eprintln!("tempo-bench: note: {note}");
     }

@@ -880,8 +880,15 @@ impl RegressionReport {
 }
 
 /// Compares `current` against `baseline`: simulated miss counts must not
-/// drift at all, and total wall time must not regress more than
-/// `wall_slack_pct` percent.
+/// drift at all, total wall time must not regress more than
+/// `wall_slack_pct` percent, and every experiment that records a
+/// `records_per_sec` metric in the baseline must retain at least
+/// `throughput_floor_pct` percent of the baseline throughput.
+///
+/// The throughput floor is a *ratchet*: refreshing the baseline after an
+/// optimization raises the floor automatically, so a later change cannot
+/// silently give the win back. The floor leaves slack for machine noise
+/// (CI runners are shared); the miss comparison stays exact.
 ///
 /// Parameters (`records`/`runs`/`seed`) must match, otherwise the miss
 /// comparison would be meaningless. Experiments present only in the
@@ -891,6 +898,7 @@ pub fn check_regression(
     current: &RunAllReport,
     baseline: &RunAllReport,
     wall_slack_pct: f64,
+    throughput_floor_pct: f64,
 ) -> RegressionReport {
     let mut failures = Vec::new();
     let mut notes = Vec::new();
@@ -922,6 +930,14 @@ pub fn check_regression(
                         "`{}` simulated misses drifted: {} -> {}",
                         cur.name, base.misses, cur.misses
                     ));
+                } else if base.ok {
+                    check_throughput_floor(
+                        cur,
+                        base,
+                        throughput_floor_pct,
+                        &mut failures,
+                        &mut notes,
+                    );
                 }
             }
         }
@@ -954,4 +970,119 @@ pub fn check_regression(
     }
 
     RegressionReport { failures, notes }
+}
+
+/// Metric name gated by the throughput floor. Per-jobs variants
+/// (`jobsN.records_per_sec`) are deliberately excluded: they measure
+/// scaling shape, which depends on the runner's core count.
+const THROUGHPUT_METRIC: &str = "records_per_sec";
+
+fn check_throughput_floor(
+    cur: &ExperimentRecord,
+    base: &ExperimentRecord,
+    floor_pct: f64,
+    failures: &mut Vec<String>,
+    notes: &mut Vec<String>,
+) {
+    let metric_of = |e: &ExperimentRecord| {
+        e.metrics
+            .iter()
+            .find(|(name, _)| name == THROUGHPUT_METRIC)
+            .map(|&(_, v)| v)
+    };
+    let Some(base_rps) = metric_of(base).filter(|v| *v > 0.0) else {
+        return;
+    };
+    let floor = base_rps * floor_pct / 100.0;
+    match metric_of(cur) {
+        None => failures.push(format!(
+            "`{}` stopped recording {THROUGHPUT_METRIC} (baseline has {base_rps:.0}/s)",
+            cur.name
+        )),
+        Some(cur_rps) if cur_rps < floor => failures.push(format!(
+            "`{}` throughput regressed: {cur_rps:.0} records/s vs baseline \
+             {base_rps:.0}/s (floor {floor:.0}/s at {floor_pct:.0}%)",
+            cur.name
+        )),
+        Some(cur_rps) => notes.push(format!(
+            "`{}` throughput {cur_rps:.0} records/s vs baseline {base_rps:.0}/s \
+             (floor {floor:.0}/s)",
+            cur.name
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, misses: u64, rps: Option<f64>) -> ExperimentRecord {
+        ExperimentRecord {
+            name: name.to_string(),
+            ok: true,
+            wall_ms: 10.0,
+            cells: 1,
+            rows: 1,
+            misses,
+            metrics: rps
+                .map(|v| (THROUGHPUT_METRIC.to_string(), v))
+                .into_iter()
+                .collect(),
+            error: None,
+        }
+    }
+
+    fn report(experiments: Vec<ExperimentRecord>) -> RunAllReport {
+        RunAllReport {
+            records: Some(20_000),
+            runs: Some(8),
+            jobs: 1,
+            seed: 0xBA5E,
+            total_wall_ms: 100.0,
+            experiments,
+        }
+    }
+
+    #[test]
+    fn throughput_at_or_above_the_floor_passes() {
+        let base = report(vec![record("stream", 53_211, Some(1_000_000.0))]);
+        let cur = report(vec![record("stream", 53_211, Some(700_000.0))]);
+        let verdict = check_regression(&cur, &base, 25.0, 70.0);
+        assert!(verdict.ok(), "failures: {:?}", verdict.failures);
+        assert!(verdict.notes.iter().any(|n| n.contains("throughput")));
+    }
+
+    #[test]
+    fn throughput_below_the_floor_fails() {
+        let base = report(vec![record("stream", 53_211, Some(1_000_000.0))]);
+        let cur = report(vec![record("stream", 53_211, Some(699_999.0))]);
+        let verdict = check_regression(&cur, &base, 25.0, 70.0);
+        assert_eq!(verdict.failures.len(), 1, "notes: {:?}", verdict.notes);
+        assert!(verdict.failures[0].contains("throughput regressed"));
+    }
+
+    #[test]
+    fn dropping_the_throughput_metric_fails() {
+        let base = report(vec![record("stream", 53_211, Some(1_000_000.0))]);
+        let cur = report(vec![record("stream", 53_211, None)]);
+        let verdict = check_regression(&cur, &base, 25.0, 70.0);
+        assert_eq!(verdict.failures.len(), 1);
+        assert!(verdict.failures[0].contains("stopped recording"));
+    }
+
+    #[test]
+    fn experiments_without_a_baseline_throughput_are_exempt() {
+        let base = report(vec![record("fig1", 42, None)]);
+        let cur = report(vec![record("fig1", 42, Some(5.0))]);
+        assert!(check_regression(&cur, &base, 25.0, 70.0).ok());
+    }
+
+    #[test]
+    fn miss_drift_still_fails_before_throughput_is_considered() {
+        let base = report(vec![record("stream", 53_211, Some(1_000_000.0))]);
+        let cur = report(vec![record("stream", 53_212, Some(1_000_000.0))]);
+        let verdict = check_regression(&cur, &base, 25.0, 70.0);
+        assert_eq!(verdict.failures.len(), 1);
+        assert!(verdict.failures[0].contains("misses drifted"));
+    }
 }

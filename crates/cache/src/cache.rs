@@ -85,6 +85,38 @@ impl InstructionCache {
         (last - first + 1, misses)
     }
 
+    /// Branchless bulk access for direct-mapped caches: every touched line
+    /// costs one masked index, one compare-as-integer, and one
+    /// unconditional store — no per-line branch, no MRU bookkeeping (an
+    /// associativity-1 set has nothing to rotate). Produces exactly the
+    /// counts [`access_range`](InstructionCache::access_range) would.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the cache is direct-mapped; callers dispatch on
+    /// [`CacheConfig::is_direct_mapped`].
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // masked index < sets
+    pub fn access_range_direct(&mut self, addr: u64, bytes: u32) -> (u64, u64) {
+        debug_assert!(self.config.is_direct_mapped());
+        if bytes == 0 {
+            return (0, 0);
+        }
+        let first = self.config.line_of_addr(addr);
+        let last = self.config.line_of_addr(addr + u64::from(bytes) - 1);
+        // Geometry is power-of-two by construction, so the set index is a
+        // mask — the `%` in `set_of_line` is a hardware divide because the
+        // divisor is only known at runtime.
+        let mask = u64::from(self.config.sets()) - 1;
+        let mut misses = 0u64;
+        for line in first..=last {
+            let slot = &mut self.ways[(line & mask) as usize];
+            misses += u64::from(*slot != line);
+            *slot = line;
+        }
+        (last - first + 1, misses)
+    }
+
     /// Invalidates every line.
     pub fn flush(&mut self) {
         self.ways.fill(EMPTY);

@@ -47,7 +47,7 @@ pub mod sweep;
 pub use cache::InstructionCache;
 pub use classify::{classify, MissBreakdown};
 pub use config::{CacheConfig, CacheConfigError};
-pub use sim::{simulate, simulate_source, SimStats, Simulator};
+pub use sim::{simulate, simulate_source, SimStats, Simulator, BLOCK_RECORDS};
 pub use sweep::{
     simulate_configs, simulate_layouts, simulate_layouts_masked, simulate_layouts_streamed,
     SweepPanic,

@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-use tempo_program::{Layout, Program};
+use tempo_program::{Layout, ProcId, Program};
 use tempo_trace::io::TraceIoError;
-use tempo_trace::{Trace, TraceRecord, TraceSink, TraceSource};
+use tempo_trace::{RecordBlock, Trace, TraceRecord, TraceSink, TraceSource};
 
 use crate::{CacheConfig, InstructionCache};
 
@@ -84,16 +84,41 @@ pub struct Simulator<'p> {
     layout: &'p Layout,
     cache: InstructionCache,
     stats: SimStats,
+    /// Per-procedure layout address and size, gathered once so the batched
+    /// kernel reads two dense arrays instead of chasing `Layout`/`Program`
+    /// per record. Covers `min(program, layout)` procedures; records past
+    /// that fall back to the scalar lookups (and their panics).
+    addrs: Vec<u64>,
+    sizes: Vec<u32>,
+    /// Associativity-1 fast path: dispatches [`step_block`](Simulator::step_block)
+    /// to the branchless kernel.
+    direct: bool,
 }
+
+/// Records per [`RecordBlock`] the batched drivers pull at a time. Two
+/// 16 KiB columns: big enough to amortize per-block dispatch, small enough
+/// to stay L1/L2-resident alongside the cache model.
+pub const BLOCK_RECORDS: usize = 4096;
 
 impl<'p> Simulator<'p> {
     /// Creates a simulator with a cold cache.
+    #[allow(clippy::cast_possible_truncation)] // proc indices are u32 by construction
     pub fn new(program: &'p Program, layout: &'p Layout, config: CacheConfig) -> Self {
+        let covered = program.len().min(layout.len());
+        let addrs = (0..covered)
+            .map(|i| layout.addr(ProcId::new(i as u32)))
+            .collect();
+        let sizes = (0..covered)
+            .map(|i| program.size_of(ProcId::new(i as u32)))
+            .collect();
         Simulator {
             program,
             layout,
             cache: InstructionCache::new(config),
             stats: SimStats::default(),
+            addrs,
+            sizes,
+            direct: config.is_direct_mapped(),
         }
     }
 
@@ -107,6 +132,50 @@ impl<'p> Simulator<'p> {
         self.stats.accesses += accesses;
         self.stats.misses += misses;
         self.stats.instructions += u64::from(bytes.div_ceil(4));
+    }
+
+    /// Processes a batch of records in structure-of-arrays form —
+    /// `procs[i]`/`bytes[i]` is one record. Exactly equivalent to calling
+    /// [`step`](Simulator::step) per record (proptest-pinned), but
+    /// direct-mapped caches take the branchless
+    /// [`access_range_direct`](InstructionCache::access_range_direct)
+    /// kernel over the precomputed address/size columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, or on the same out-of-program
+    /// records the scalar path panics on.
+    pub fn step_block(&mut self, procs: &[u32], bytes: &[u32]) {
+        assert_eq!(procs.len(), bytes.len(), "SoA columns must be parallel");
+        if !self.direct {
+            for (&p, &b) in procs.iter().zip(bytes) {
+                self.step(&TraceRecord::new(ProcId::new(p), b));
+            }
+            return;
+        }
+        let mut accesses = 0u64;
+        let mut misses = 0u64;
+        let mut instructions = 0u64;
+        for (&p, &b) in procs.iter().zip(bytes) {
+            let (addr, size) = if let (Some(&a), Some(&s)) =
+                (self.addrs.get(p as usize), self.sizes.get(p as usize))
+            {
+                (a, s)
+            } else {
+                // Same lookups (and panics) as the scalar path.
+                let id = ProcId::new(p);
+                (self.layout.addr(id), self.program.size_of(id))
+            };
+            let b = b.min(size);
+            let (a, m) = self.cache.access_range_direct(addr, b);
+            accesses += a;
+            misses += m;
+            instructions += u64::from(b.div_ceil(4));
+        }
+        self.stats.records += procs.len() as u64;
+        self.stats.accesses += accesses;
+        self.stats.misses += misses;
+        self.stats.instructions += instructions;
     }
 
     /// Processes a sequence of records.
@@ -130,8 +199,9 @@ impl<'p> Simulator<'p> {
     ///
     /// Propagates the first error the source reports.
     pub fn consume<S: TraceSource>(&mut self, mut source: S) -> Result<(), TraceIoError> {
-        while let Some(r) = source.try_next()? {
-            self.step(&r);
+        let mut block = RecordBlock::with_capacity(BLOCK_RECORDS);
+        while source.try_next_block(&mut block, BLOCK_RECORDS)? > 0 {
+            self.step_block(&block.procs, &block.bytes);
         }
         Ok(())
     }

@@ -137,13 +137,15 @@ pub fn simulate_layouts_masked(
 }
 
 /// Simulates every layout against one *shared* pass over a [`TraceSource`]:
-/// each record is stepped through all `layouts.len()` simulators as it
-/// arrives, so N layouts cost one trace read and O(N caches) memory instead
-/// of N materialized passes.
+/// records are pulled in [`RecordBlock`](tempo_trace::RecordBlock) batches
+/// and each block is stepped through all `layouts.len()` simulators before
+/// the next is decoded, so N layouts cost one trace read — and one varint
+/// decode per block — instead of N materialized passes.
 ///
 /// Results match [`simulate_layouts`] on the materialized trace exactly —
-/// every simulator owns its cache, so interleaving per record cannot change
-/// any cell's miss sequence.
+/// every simulator owns its cache, so interleaving per block cannot change
+/// any cell's miss sequence, and the batched kernel is step-for-step
+/// equivalent to the scalar one.
 ///
 /// # Errors
 ///
@@ -160,11 +162,12 @@ pub fn simulate_layouts_streamed<S: TraceSource>(
         .map(|layout| Simulator::new(program, layout, config))
         .collect();
     let mut pulled = 0u64;
-    while let Some(r) = source.try_next()? {
+    let mut block = tempo_trace::RecordBlock::with_capacity(crate::sim::BLOCK_RECORDS);
+    while source.try_next_block(&mut block, crate::sim::BLOCK_RECORDS)? > 0 {
         for sim in &mut sims {
-            sim.step(&r);
+            sim.step_block(&block.procs, &block.bytes);
         }
-        pulled += 1;
+        pulled += block.len() as u64;
     }
     tempo_trace::obs::note_read(pulled, &source.warnings());
     let all: Vec<SimStats> = sims.iter().map(Simulator::stats).collect();

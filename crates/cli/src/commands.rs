@@ -9,7 +9,8 @@ use tempo::place::{TrgChains, WcgOffsets};
 use tempo::prelude::*;
 use tempo::trace::analysis::{reuse_distances, working_set_sizes};
 use tempo::trace::io::{ReadMode, TraceIoError, V1Source, V1Writer};
-use tempo::trace::v2::{V2Source, V2Writer, DEFAULT_FRAME_RECORDS, MAGIC_V2};
+use tempo::trace::v2::{V2Writer, DEFAULT_FRAME_RECORDS, MAGIC_V2};
+use tempo::trace::{open_v2_auto, open_v2_auto_lossy, ZeroCopySource};
 use tempo::trg::io::{read_profile, write_profile};
 use tempo::workloads::suite;
 
@@ -58,7 +59,7 @@ enum FileSource<'p> {
         index: u64,
     },
     V2 {
-        source: V2Source<'p, BufReader<File>>,
+        source: ZeroCopySource<'p>,
         validate: Option<&'p Program>,
         index: u64,
     },
@@ -112,6 +113,10 @@ impl TraceSource for FileSource<'_> {
 /// from the magic bytes (`TMPO` = v1, `TMP2` = v2). Lossy sources repair
 /// against `program` when one is given, structurally otherwise; no
 /// program-fit validation is attached (see [`open_file_source`]).
+///
+/// V2 containers go through [`open_v2_auto`], so small files are decoded
+/// zero-copy from one whole-file buffer and large ones stream frame by
+/// frame in constant memory (`TEMPO_STREAM_INGEST` forces either path).
 fn open_raw_source<'p>(
     path: &str,
     program: Option<&'p Program>,
@@ -133,12 +138,12 @@ fn open_raw_source<'p>(
             index: 0,
         },
         (true, ReadMode::Strict) => FileSource::V2 {
-            source: V2Source::new(r)?,
+            source: open_v2_auto(Path::new(path), None)?,
             validate: None,
             index: 0,
         },
         (true, ReadMode::Lossy) => FileSource::V2 {
-            source: V2Source::new_lossy(r, program)?,
+            source: open_v2_auto_lossy(Path::new(path), program, None)?,
             validate: None,
             index: 0,
         },

@@ -295,6 +295,12 @@ pub struct TraceWarnings {
     /// Whole v2 frames skipped because they were truncated, failed their
     /// CRC, or did not decode.
     pub bad_frames: u64,
+    /// Sub-tally of [`bad_frames`](Self::bad_frames): frames whose payload
+    /// passed its CRC but contained a malformed LEB128 varint (over-long
+    /// encoding, shift overflow, or truncation mid-record). Excluded from
+    /// [`total`](Self::total) because each occurrence is already counted as
+    /// a bad frame.
+    pub varint_defects: u64,
 }
 
 impl TraceWarnings {
@@ -336,6 +342,9 @@ impl fmt::Display for TraceWarnings {
                 write!(f, "{sep}{count} {label}")?;
                 sep = ", ";
             }
+        }
+        if self.varint_defects > 0 {
+            write!(f, " ({} varint-defect)", self.varint_defects)?;
         }
         Ok(())
     }

@@ -16,6 +16,9 @@
 //!   a human-readable text format; strict and lossy streaming readers.
 //! * [`v2`] — the v2 chunked binary container: CRC-framed blocks of varint
 //!   records, streamable and lossy-recoverable frame by frame.
+//! * [`mmap`] — whole-buffer zero-copy ingestion of v2 containers with a
+//!   size-budgeted automatic fallback to the streaming reader
+//!   ([`mmap::open_v2_auto`]).
 //! * [`stats`] — the small statistical samplers (normal, lognormal, Zipf)
 //!   used by the workload substrate and the profile-perturbation machinery,
 //!   implemented in-repo so the only randomness dependency is `rand`.
@@ -47,11 +50,13 @@
 
 pub mod analysis;
 pub mod io;
+pub mod mmap;
 pub mod obs;
 pub mod source;
 pub mod stats;
 mod trace;
 pub mod v2;
 
-pub use source::{pump, MemorySource, PumpSummary, Tee, TraceSink, TraceSource};
+pub use mmap::{open_v2_auto, open_v2_auto_lossy, MmapSource, ZeroCopySource};
+pub use source::{pump, MemorySource, PumpSummary, RecordBlock, Tee, TraceSink, TraceSource};
 pub use trace::{Trace, TraceBuilder, TraceRecord, TraceStats};

@@ -1,0 +1,601 @@
+//! Zero-copy whole-buffer ingestion of TMP2 traces.
+//!
+//! [`MmapSource`] holds the entire container in one owned byte buffer and
+//! decodes each frame **in place**: the frame header is parsed from a
+//! borrowed slice, the CRC runs over the borrowed payload, and the varint
+//! decode writes straight into reusable structure-of-arrays columns. The
+//! streaming [`V2Source`] by contrast copies every payload out of its
+//! `Read` handle into a per-frame allocation before decoding — for traces
+//! that fit in memory that copy (and the `Read` dispatch under it) is pure
+//! overhead.
+//!
+//! The workspace forbids `unsafe`, so "mapping" here is a safe
+//! `std::fs::read` of the whole file rather than a literal `mmap(2)`; the
+//! access pattern — one contiguous buffer, borrowed per-frame slices, no
+//! per-frame copies — is the same, and the OS page cache makes the read a
+//! near-equivalent for the file sizes the budget admits. What matters for
+//! callers is the gate: [`open_v2_auto`] sniffs the file size against a
+//! budget ([`DEFAULT_MAP_BUDGET`]) and falls back to the constant-memory
+//! streaming reader for anything larger, so a 146M-record ATOM-scale trace
+//! never forces a multi-gigabyte buffer. Set `TEMPO_STREAM_INGEST=map` or
+//! `=stream` to force a path (CI uses this to assert the two are
+//! byte-identical).
+//!
+//! Both readers share [`decode_frame_soa`](crate::v2), so the decoded
+//! record sequence — and therefore every downstream miss count — is
+//! identical by construction; an integration test pins this on a Table-1
+//! workload.
+
+use std::path::Path;
+
+use tempo_program::{ProcId, Program};
+
+use crate::io::{repair_record, ReadMode, TraceIoError, TraceWarnings};
+use crate::source::{RecordBlock, TraceSource};
+use crate::v2::{
+    crc32, decode_frame_soa, FrameDecodeDefect, V2Source, FRAME_HEADER_LEN, MAGIC_V2,
+    MAX_FRAME_PAYLOAD, VERSION_V2,
+};
+use crate::TraceRecord;
+
+/// Largest file `open_v2_auto` will hold in memory by default: 32 MiB,
+/// roughly 10M records at typical varint density. Larger traces stream.
+pub const DEFAULT_MAP_BUDGET: u64 = 32 * 1024 * 1024;
+
+/// Whole-buffer TMP2 reader with zero-copy frame decoding.
+///
+/// Same defect semantics as [`V2Source`] (strict constructors fail on the
+/// first corrupt frame, lossy ones skip and tally), same record sequence,
+/// no per-frame payload copies. Records are served from
+/// structure-of-arrays columns, so [`try_next_block`](TraceSource::try_next_block)
+/// degenerates to two `memcpy`s per frame.
+#[derive(Debug)]
+pub struct MmapSource<'p> {
+    buf: Vec<u8>,
+    /// Byte offset of the next frame header within `buf`.
+    pos: usize,
+    mode: ReadMode,
+    program: Option<&'p Program>,
+    /// Decoded (and, in lossy mode, repaired) records of the current frame.
+    procs: Vec<u32>,
+    bytes: Vec<u32>,
+    /// Next index to yield from the columns.
+    cursor: usize,
+    frame_index: u64,
+    record_index: u64,
+    warnings: TraceWarnings,
+    done: bool,
+}
+
+impl MmapSource<'static> {
+    /// Opens `path` strictly, reading the whole file into memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, bad magic, or an unsupported version.
+    pub fn open(path: &Path) -> Result<Self, TraceIoError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Wraps an in-memory TMP2 container strictly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, a truncated header, or an unsupported version.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self, TraceIoError> {
+        if buf.len() < 4 || buf[0..4] != MAGIC_V2 {
+            return Err(TraceIoError::BadMagic);
+        }
+        if buf.len() < 8 {
+            return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof).into());
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().expect("slice is 4 bytes"));
+        if version != VERSION_V2 {
+            return Err(TraceIoError::UnsupportedVersion(version));
+        }
+        Ok(Self::with_header(
+            buf,
+            ReadMode::Strict,
+            None,
+            8,
+            TraceWarnings::default(),
+            false,
+        ))
+    }
+}
+
+impl<'p> MmapSource<'p> {
+    /// Opens `path` lossily: a mangled header is tallied, corrupt frames
+    /// are skipped, and per-record defects are repaired against `program`
+    /// when given — mirroring [`V2Source::new_lossy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only on genuine I/O errors reading the file.
+    pub fn open_lossy(path: &Path, program: Option<&'p Program>) -> Result<Self, TraceIoError> {
+        Ok(Self::from_bytes_lossy(std::fs::read(path)?, program))
+    }
+
+    /// Wraps an in-memory container lossily. Infallible: every defect is
+    /// tallied instead of raised.
+    pub fn from_bytes_lossy(buf: Vec<u8>, program: Option<&'p Program>) -> Self {
+        let mut warnings = TraceWarnings::default();
+        let mut done = false;
+        let mut pos = 8usize;
+        if buf.len() < 8 {
+            if !buf.is_empty() {
+                warnings.header_mangled += 1;
+            }
+            pos = buf.len();
+            done = true;
+        } else {
+            if buf[0..4] != MAGIC_V2 {
+                warnings.header_mangled += 1;
+            }
+            let version = u32::from_le_bytes(buf[4..8].try_into().expect("slice is 4 bytes"));
+            if version != VERSION_V2 && buf[0..4] == MAGIC_V2 {
+                warnings.header_mangled += 1;
+            }
+        }
+        Self::with_header(buf, ReadMode::Lossy, program, pos, warnings, done)
+    }
+
+    fn with_header(
+        buf: Vec<u8>,
+        mode: ReadMode,
+        program: Option<&'p Program>,
+        pos: usize,
+        warnings: TraceWarnings,
+        done: bool,
+    ) -> Self {
+        MmapSource {
+            buf,
+            pos,
+            mode,
+            program,
+            procs: Vec::new(),
+            bytes: Vec::new(),
+            cursor: 0,
+            frame_index: 0,
+            record_index: 0,
+            warnings,
+            done,
+        }
+    }
+
+    /// Size of the held buffer in bytes.
+    pub fn buffer_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next frame into the SoA columns. Returns `false` at
+    /// clean end of input; lossy mode leaves the columns empty on a skipped
+    /// frame and the caller loops.
+    fn load_frame(&mut self) -> Result<bool, TraceIoError> {
+        self.procs.clear();
+        self.bytes.clear();
+        self.cursor = 0;
+        let index = self.frame_index;
+
+        let remaining = self.buf.len() - self.pos;
+        if remaining == 0 {
+            self.done = true;
+            return Ok(false);
+        }
+        if remaining < FRAME_HEADER_LEN {
+            return self.frame_defect(index, /* skippable */ false);
+        }
+        let h = self.pos;
+        let payload_len =
+            u32::from_le_bytes(self.buf[h..h + 4].try_into().expect("slice is 4 bytes"));
+        let record_count =
+            u32::from_le_bytes(self.buf[h + 4..h + 8].try_into().expect("slice is 4 bytes"));
+        let crc = u32::from_le_bytes(
+            self.buf[h + 8..h + 12]
+                .try_into()
+                .expect("slice is 4 bytes"),
+        );
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return self.frame_defect(index, false);
+        }
+        let start = h + FRAME_HEADER_LEN;
+        let Some(end) = start
+            .checked_add(payload_len as usize)
+            .filter(|&e| e <= self.buf.len())
+        else {
+            return self.frame_defect(index, false);
+        };
+        self.pos = end;
+        self.frame_index += 1;
+        // The payload stays a borrowed slice of the file buffer end to end:
+        // CRC and varint decode read it in place, no copy.
+        if crc32(&self.buf[start..end]) != crc {
+            return self.frame_defect(index, true);
+        }
+        if u64::from(record_count) * 2 > u64::from(payload_len) {
+            return self.frame_defect(index, true);
+        }
+        if let Err(defect) = decode_frame_soa(
+            &self.buf[start..end],
+            record_count as usize,
+            &mut self.procs,
+            &mut self.bytes,
+        ) {
+            if self.mode == ReadMode::Lossy && defect == FrameDecodeDefect::Varint {
+                self.warnings.varint_defects += 1;
+            }
+            return self.frame_defect(index, true);
+        }
+        match self.mode {
+            ReadMode::Strict => {
+                for (i, &b) in self.bytes.iter().enumerate() {
+                    if b == 0 {
+                        self.done = true;
+                        return Err(TraceIoError::ZeroExtent {
+                            index: self.record_index + i as u64,
+                        });
+                    }
+                }
+            }
+            ReadMode::Lossy => {
+                // Repair in place, compacting dropped records out of the
+                // columns so the cursor walk below never re-checks.
+                let mut keep = 0usize;
+                for i in 0..self.procs.len() {
+                    if let Some(r) = repair_record(
+                        self.procs[i],
+                        self.bytes[i],
+                        self.program,
+                        &mut self.warnings,
+                    ) {
+                        self.procs[keep] = r.proc.index();
+                        self.bytes[keep] = r.bytes;
+                        keep += 1;
+                    }
+                }
+                self.procs.truncate(keep);
+                self.bytes.truncate(keep);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Same strict/lossy split as `V2Source::frame_defect`.
+    fn frame_defect(&mut self, index: u64, skippable: bool) -> Result<bool, TraceIoError> {
+        if self.mode == ReadMode::Strict {
+            self.done = true;
+            return Err(TraceIoError::CorruptFrame { frame: index });
+        }
+        self.warnings.bad_frames += 1;
+        if !skippable {
+            self.done = true;
+        }
+        Ok(!self.done)
+    }
+}
+
+impl TraceSource for MmapSource<'_> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        loop {
+            if self.cursor < self.procs.len() {
+                let r = TraceRecord::new(
+                    ProcId::new(self.procs[self.cursor]),
+                    self.bytes[self.cursor],
+                );
+                self.cursor += 1;
+                self.record_index += 1;
+                return Ok(Some(r));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.load_frame()?;
+        }
+    }
+
+    fn warnings(&self) -> TraceWarnings {
+        self.warnings
+    }
+
+    fn try_next_block(
+        &mut self,
+        block: &mut RecordBlock,
+        max: usize,
+    ) -> Result<usize, TraceIoError> {
+        block.clear();
+        if max == 0 {
+            return Ok(0);
+        }
+        loop {
+            let avail = self.procs.len() - self.cursor;
+            if avail > 0 {
+                let take = avail.min(max - block.len());
+                block
+                    .procs
+                    .extend_from_slice(&self.procs[self.cursor..self.cursor + take]);
+                block
+                    .bytes
+                    .extend_from_slice(&self.bytes[self.cursor..self.cursor + take]);
+                self.cursor += take;
+                self.record_index += take as u64;
+            }
+            // Frame-granular, like the V2Source override: a drained frame
+            // ends the block even short of `max`.
+            if !block.is_empty() || self.done {
+                return Ok(block.len());
+            }
+            self.load_frame()?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Auto-gated opener
+// ---------------------------------------------------------------------
+
+/// A TMP2 reader that is either mapped whole or streamed, chosen by
+/// [`open_v2_auto`]. Implements [`TraceSource`] by delegation, so callers
+/// are agnostic to the path taken.
+#[derive(Debug)]
+pub enum ZeroCopySource<'p> {
+    /// Whole file held in memory, frames decoded zero-copy.
+    Mapped(MmapSource<'p>),
+    /// Constant-memory streaming reader (one frame at a time).
+    Streamed(V2Source<'p, std::io::BufReader<std::fs::File>>),
+}
+
+impl ZeroCopySource<'_> {
+    /// Whether the mapped (whole-buffer) path was chosen.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, ZeroCopySource::Mapped(_))
+    }
+}
+
+impl TraceSource for ZeroCopySource<'_> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        match self {
+            ZeroCopySource::Mapped(s) => s.try_next(),
+            ZeroCopySource::Streamed(s) => s.try_next(),
+        }
+    }
+    fn warnings(&self) -> TraceWarnings {
+        match self {
+            ZeroCopySource::Mapped(s) => s.warnings(),
+            ZeroCopySource::Streamed(s) => s.warnings(),
+        }
+    }
+    fn expected_records(&self) -> Option<u64> {
+        match self {
+            ZeroCopySource::Mapped(s) => s.expected_records(),
+            ZeroCopySource::Streamed(s) => s.expected_records(),
+        }
+    }
+    fn try_next_block(
+        &mut self,
+        block: &mut RecordBlock,
+        max: usize,
+    ) -> Result<usize, TraceIoError> {
+        match self {
+            ZeroCopySource::Mapped(s) => s.try_next_block(block, max),
+            ZeroCopySource::Streamed(s) => s.try_next_block(block, max),
+        }
+    }
+}
+
+/// `TEMPO_STREAM_INGEST` override: `map` forces the whole-buffer path,
+/// `stream` forces the streaming path, anything else (or unset) defers to
+/// the size budget.
+fn ingest_override() -> Option<bool> {
+    match std::env::var("TEMPO_STREAM_INGEST").ok()?.as_str() {
+        "map" | "mmap" => Some(true),
+        "stream" | "read" => Some(false),
+        _ => None,
+    }
+}
+
+fn should_map(path: &Path, budget: Option<u64>) -> Result<bool, TraceIoError> {
+    if let Some(forced) = ingest_override() {
+        return Ok(forced);
+    }
+    Ok(std::fs::metadata(path)?.len() <= budget.unwrap_or(DEFAULT_MAP_BUDGET))
+}
+
+/// Opens a TMP2 file strictly, mapping it whole when it fits the budget
+/// (default [`DEFAULT_MAP_BUDGET`]) and streaming it otherwise. The
+/// `TEMPO_STREAM_INGEST` environment variable (`map` / `stream`) forces a
+/// path regardless of size — CI uses this to check the two agree.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic, or an unsupported version.
+pub fn open_v2_auto(
+    path: &Path,
+    budget: Option<u64>,
+) -> Result<ZeroCopySource<'static>, TraceIoError> {
+    if should_map(path, budget)? {
+        Ok(ZeroCopySource::Mapped(MmapSource::open(path)?))
+    } else {
+        let f = std::fs::File::open(path)?;
+        Ok(ZeroCopySource::Streamed(V2Source::new(
+            std::io::BufReader::new(f),
+        )?))
+    }
+}
+
+/// Lossy counterpart of [`open_v2_auto`]: defects are repaired against
+/// `program` and tallied instead of raised.
+///
+/// # Errors
+///
+/// Fails only on genuine I/O errors.
+pub fn open_v2_auto_lossy<'p>(
+    path: &Path,
+    program: Option<&'p Program>,
+    budget: Option<u64>,
+) -> Result<ZeroCopySource<'p>, TraceIoError> {
+    if should_map(path, budget)? {
+        Ok(ZeroCopySource::Mapped(MmapSource::open_lossy(
+            path, program,
+        )?))
+    } else {
+        let f = std::fs::File::open(path)?;
+        Ok(ZeroCopySource::Streamed(V2Source::new_lossy(
+            std::io::BufReader::new(f),
+            program,
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::v2::{write_binary_v2, V2Writer};
+    use crate::Trace;
+
+    fn sample_trace() -> Trace {
+        Trace::from_records(
+            (0..5_000u32)
+                .map(|i| TraceRecord::new(ProcId::new(i % 97), (i % 1000) + 1))
+                .collect(),
+        )
+    }
+
+    fn encode(trace: &Trace, per_frame: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, per_frame).unwrap();
+        for r in trace.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    fn drain<S: TraceSource>(mut src: S) -> (Vec<TraceRecord>, TraceWarnings) {
+        let mut out = Vec::new();
+        while let Some(r) = src.try_next().unwrap() {
+            out.push(r);
+        }
+        (out, src.warnings())
+    }
+
+    #[test]
+    fn mmap_matches_streaming_reader_record_for_record() {
+        let t = sample_trace();
+        let buf = encode(&t, 512);
+        let (mapped, mw) = drain(MmapSource::from_bytes(buf.clone()).unwrap());
+        let (streamed, sw) = drain(V2Source::new(buf.as_slice()).unwrap());
+        assert_eq!(mapped, streamed);
+        assert_eq!(mapped, t.records());
+        assert_eq!(mw, sw);
+    }
+
+    #[test]
+    fn mmap_block_path_matches_scalar_path() {
+        let t = sample_trace();
+        let buf = encode(&t, 300);
+        let mut src = MmapSource::from_bytes(buf.clone()).unwrap();
+        let mut block = RecordBlock::default();
+        let mut rebuilt = Vec::new();
+        while src.try_next_block(&mut block, 128).unwrap() > 0 {
+            assert!(block.len() <= 128);
+            for i in 0..block.len() {
+                rebuilt.push(TraceRecord::new(
+                    ProcId::new(block.procs[i]),
+                    block.bytes[i],
+                ));
+            }
+        }
+        assert_eq!(rebuilt, t.records());
+    }
+
+    #[test]
+    fn mmap_rejects_bad_magic_and_version() {
+        assert!(matches!(
+            MmapSource::from_bytes(b"NOPE\x02\x00\x00\x00".to_vec()).unwrap_err(),
+            TraceIoError::BadMagic
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            MmapSource::from_bytes(buf).unwrap_err(),
+            TraceIoError::UnsupportedVersion(9)
+        ));
+    }
+
+    #[test]
+    fn mmap_strict_rejects_corrupt_frame() {
+        let t = sample_trace();
+        let mut buf = encode(&t, 512);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let mut src = MmapSource::from_bytes(buf).unwrap();
+        let mut err = None;
+        loop {
+            match src.try_next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(TraceIoError::CorruptFrame { .. })));
+    }
+
+    #[test]
+    fn mmap_lossy_skips_corrupt_frame_like_v2source() {
+        let t = sample_trace();
+        let mut buf = encode(&t, 100);
+        // Corrupt one payload byte somewhere past the first frame.
+        buf[600] ^= 0x55;
+        let (mapped, mw) = drain(MmapSource::from_bytes_lossy(buf.clone(), None));
+        let (streamed, sw) = drain(V2Source::new_lossy(buf.as_slice(), None).unwrap());
+        assert_eq!(mapped, streamed);
+        assert_eq!(mw, sw);
+        assert_eq!(mw.bad_frames, 1);
+    }
+
+    #[test]
+    fn mmap_lossy_tallies_varint_defects() {
+        // CRC-valid frame whose payload is a single over-long varint.
+        let payload = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_V2);
+        buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let (records, w) = drain(MmapSource::from_bytes_lossy(buf.clone(), None));
+        assert!(records.is_empty());
+        assert_eq!(w.bad_frames, 1);
+        assert_eq!(w.varint_defects, 1);
+        // varint_defects is a sub-tally: total() counts the frame once.
+        assert_eq!(w.total(), 1);
+        // The streaming reader agrees.
+        let (_, sw) = drain(V2Source::new_lossy(buf.as_slice(), None).unwrap());
+        assert_eq!(w, sw);
+    }
+
+    #[test]
+    fn open_v2_auto_respects_budget() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("tempo_mmap_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto_budget.v2");
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &t).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let mapped = open_v2_auto(&path, Some(u64::MAX)).unwrap();
+        assert!(mapped.is_mapped());
+        let streamed = open_v2_auto(&path, Some(0)).unwrap();
+        assert!(!streamed.is_mapped());
+        let (a, _) = drain(mapped);
+        let (b, _) = drain(streamed);
+        assert_eq!(a, b);
+        assert_eq!(a, t.records());
+    }
+}

@@ -69,6 +69,33 @@ pub trait TraceSource {
     fn expected_records(&self) -> Option<u64> {
         None
     }
+
+    /// Fills `block` with up to `max` records in structure-of-arrays form,
+    /// returning how many were produced (`0` at end of stream).
+    ///
+    /// The default implementation loops [`try_next`](TraceSource::try_next);
+    /// frame-oriented readers override it to hand out whole decoded frames
+    /// without per-record dispatch, which is what lets N simulated layouts
+    /// share one decode in `simulate_layouts_streamed`. Both paths must
+    /// yield identical record sequences.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_next`](TraceSource::try_next).
+    fn try_next_block(
+        &mut self,
+        block: &mut RecordBlock,
+        max: usize,
+    ) -> Result<usize, TraceIoError> {
+        block.clear();
+        while block.len() < max {
+            match self.try_next()? {
+                Some(r) => block.push(r.proc.index(), r.bytes),
+                None => break,
+            }
+        }
+        Ok(block.len())
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -80,6 +107,60 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     }
     fn expected_records(&self) -> Option<u64> {
         (**self).expected_records()
+    }
+    fn try_next_block(
+        &mut self,
+        block: &mut RecordBlock,
+        max: usize,
+    ) -> Result<usize, TraceIoError> {
+        (**self).try_next_block(block, max)
+    }
+}
+
+/// A batch of trace records in structure-of-arrays layout.
+///
+/// `procs[i]`/`bytes[i]` are the two halves of record `i`. The parallel-array
+/// shape is what the batched simulator kernel consumes: the inner loop reads
+/// two dense `u32` streams instead of chasing `TraceRecord` structs, and one
+/// decoded block feeds every layout in a sweep.
+#[derive(Debug, Default, Clone)]
+pub struct RecordBlock {
+    /// Procedure index of each record.
+    pub procs: Vec<u32>,
+    /// Byte extent of each record.
+    pub bytes: Vec<u32>,
+}
+
+impl RecordBlock {
+    /// Creates an empty block with room for `cap` records.
+    pub fn with_capacity(cap: usize) -> Self {
+        RecordBlock {
+            procs: Vec::with_capacity(cap),
+            bytes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of records currently in the block.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Removes all records, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.procs.clear();
+        self.bytes.clear();
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, proc: u32, bytes: u32) {
+        self.procs.push(proc);
+        self.bytes.push(bytes);
     }
 }
 

@@ -52,7 +52,7 @@ use std::io::{Read, Write};
 use tempo_program::Program;
 
 use crate::io::{repair_record, ReadMode, TraceIoError, TraceWarnings};
-use crate::source::{TraceSink, TraceSource};
+use crate::source::{RecordBlock, TraceSink, TraceSource};
 use crate::{Trace, TraceRecord};
 
 /// Magic bytes opening the v2 binary trace format.
@@ -124,7 +124,31 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
 /// Decodes one LEB128 u32 from `buf` starting at `*pos`, advancing `*pos`.
 /// Returns `None` on truncation or overflow (more than 5 bytes / high bits
 /// set past 32).
+///
+/// The 1- and 2-byte cases — procedure ids and executed extents are almost
+/// always small — are unrolled so the common path costs two bounds checks
+/// and no loop-carried shift state.
+#[inline]
 fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let p = *pos;
+    let b0 = *buf.get(p)?;
+    if b0 & 0x80 == 0 {
+        *pos = p + 1;
+        return Some(u32::from(b0));
+    }
+    let b1 = *buf.get(p + 1)?;
+    if b1 & 0x80 == 0 {
+        *pos = p + 2;
+        return Some(u32::from(b0 & 0x7F) | (u32::from(b1) << 7));
+    }
+    read_varint_long(buf, pos)
+}
+
+/// Cold continuation of [`read_varint`] for 3–5-byte encodings. Encodings
+/// longer than 5 bytes or carrying bits past 32 are rejected (`None`), never
+/// wrapped — a hostile payload must fail the frame, not alias a record.
+#[cold]
+fn read_varint_long(buf: &[u8], pos: &mut usize) -> Option<u32> {
     let mut value = 0u32;
     let mut shift = 0u32;
     loop {
@@ -135,7 +159,7 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u32> {
             return None; // would overflow 32 bits
         }
         if shift > 28 {
-            return None;
+            return None; // more than 5 bytes
         }
         value |= low << shift;
         if byte & 0x80 == 0 {
@@ -143,6 +167,51 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u32> {
         }
         shift += 7;
     }
+}
+
+/// Why a CRC-valid frame payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameDecodeDefect {
+    /// A record varint was truncated, over-long, or overflowed 32 bits
+    /// (also the symptom of a declared record count exceeding the payload).
+    Varint,
+    /// Payload bytes remained after the declared record count was decoded.
+    TrailingBytes,
+}
+
+/// Decodes a frame payload of `record_count` varint pairs into parallel
+/// `procs`/`bytes` columns (cleared first) — the shared SoA decoder behind
+/// both the streaming [`V2Source`] and the zero-copy
+/// [`MmapSource`](crate::mmap::MmapSource), so the two paths cannot drift.
+pub(crate) fn decode_frame_soa(
+    payload: &[u8],
+    record_count: usize,
+    procs: &mut Vec<u32>,
+    bytes: &mut Vec<u32>,
+) -> Result<(), FrameDecodeDefect> {
+    procs.clear();
+    bytes.clear();
+    // The preallocation must not trust the header: cap the reservation by
+    // what the payload can physically hold (two bytes per record minimum),
+    // so a hostile count can never turn into a huge allocation.
+    let cap = record_count.min(payload.len() / 2);
+    procs.reserve(cap);
+    bytes.reserve(cap);
+    let mut pos = 0usize;
+    for _ in 0..record_count {
+        let (Some(proc), Some(extent)) = (
+            read_varint(payload, &mut pos),
+            read_varint(payload, &mut pos),
+        ) else {
+            return Err(FrameDecodeDefect::Varint);
+        };
+        procs.push(proc);
+        bytes.push(extent);
+    }
+    if pos != payload.len() {
+        return Err(FrameDecodeDefect::TrailingBytes);
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -289,6 +358,9 @@ pub struct V2Source<'p, R> {
     program: Option<&'p Program>,
     /// Decoded records of the current frame, drained front to back.
     frame: Vec<TraceRecord>,
+    /// SoA decode scratch, reused across frames (see [`decode_frame_soa`]).
+    soa_procs: Vec<u32>,
+    soa_bytes: Vec<u32>,
     /// Next index to yield from `frame`.
     cursor: usize,
     /// 0-based index of the next frame to read.
@@ -322,6 +394,8 @@ impl<R: Read> V2Source<'static, R> {
             mode: ReadMode::Strict,
             program: None,
             frame: Vec::new(),
+            soa_procs: Vec::new(),
+            soa_bytes: Vec::new(),
             cursor: 0,
             frame_index: 0,
             record_index: 0,
@@ -363,6 +437,8 @@ impl<'p, R: Read> V2Source<'p, R> {
             mode: ReadMode::Lossy,
             program,
             frame: Vec::new(),
+            soa_procs: Vec::new(),
+            soa_bytes: Vec::new(),
             cursor: 0,
             frame_index: 0,
             record_index: 0,
@@ -415,25 +491,19 @@ impl<'p, R: Read> V2Source<'p, R> {
         // Decode the whole frame up front so a malformed record invalidates
         // the frame atomically (the CRC passed, so this only fires on
         // writer bugs or collisions).
-        let mut pos = 0usize;
-        // The preallocation must not trust the header either: cap the
-        // reservation by what the payload can physically hold (two bytes
-        // per record minimum), so a hostile count can never turn into a
-        // multi-gigabyte allocation even if the sanity check above drifts.
-        let mut decoded = Vec::with_capacity((record_count as usize).min(payload.len() / 2));
-        for _ in 0..record_count {
-            let (Some(proc), Some(bytes)) = (
-                read_varint(&payload, &mut pos),
-                read_varint(&payload, &mut pos),
-            ) else {
-                return self.frame_defect(index, true);
-            };
-            decoded.push((proc, bytes));
-        }
-        if pos != payload.len() {
+        if let Err(defect) = decode_frame_soa(
+            &payload,
+            record_count as usize,
+            &mut self.soa_procs,
+            &mut self.soa_bytes,
+        ) {
+            if self.mode == ReadMode::Lossy && defect == FrameDecodeDefect::Varint {
+                self.warnings.varint_defects += 1;
+            }
             return self.frame_defect(index, true);
         }
-        for (proc, bytes) in decoded {
+        for i in 0..self.soa_procs.len() {
+            let (proc, bytes) = (self.soa_procs[i], self.soa_bytes[i]);
             match self.mode {
                 ReadMode::Strict => {
                     if bytes == 0 {
@@ -492,6 +562,33 @@ impl<R: Read> TraceSource for V2Source<'_, R> {
 
     fn warnings(&self) -> TraceWarnings {
         self.warnings
+    }
+
+    fn try_next_block(
+        &mut self,
+        block: &mut RecordBlock,
+        max: usize,
+    ) -> Result<usize, TraceIoError> {
+        block.clear();
+        if max == 0 {
+            return Ok(0);
+        }
+        loop {
+            while block.len() < max {
+                let Some(r) = self.frame.get(self.cursor) else {
+                    break;
+                };
+                self.cursor += 1;
+                self.record_index += 1;
+                block.push(r.proc.index(), r.bytes);
+            }
+            // Frame-granular: a drained frame ends the block even short of
+            // `max`, so blocks line up with decode units.
+            if !block.is_empty() || self.done {
+                return Ok(block.len());
+            }
+            self.load_frame()?;
+        }
     }
 }
 

@@ -6,8 +6,7 @@
 //! the cache for capacity reasons anyway — the paper bounds this at **twice
 //! the cache size** and reports that the bound "works quite well".
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// The outcome of processing one code-block reference through the Q-set.
@@ -57,8 +56,12 @@ pub struct QSet {
     /// Live + stale slots, oldest first. Stale slots (superseded references)
     /// are skipped lazily.
     slots: VecDeque<Slot>,
-    /// id -> seq of its live slot.
-    index: HashMap<u32, u64>,
+    /// id -> seq of its live slot, dense ([`NO_SEQ`] marks absent ids).
+    /// Ids are dense procedure/chunk indices, so a flat vector replaces a
+    /// hash map on the per-record hot path.
+    index: Vec<u64>,
+    /// Number of live entries (ids whose `index` slot is not [`NO_SEQ`]).
+    live: usize,
     /// Total size of live slots.
     live_size: u64,
     next_seq: u64,
@@ -70,6 +73,9 @@ pub struct QSet {
     occupancy_max: usize,
 }
 
+/// Sentinel marking an id with no live slot in the dense index.
+const NO_SEQ: u64 = u64::MAX;
+
 impl QSet {
     /// Creates a Q-set whose total live size is bounded (from below, per the
     /// eviction rule) by `bound` bytes. Use twice the target cache size, as
@@ -78,7 +84,8 @@ impl QSet {
         QSet {
             bound,
             slots: VecDeque::new(),
-            index: HashMap::new(),
+            index: Vec::new(),
+            live: 0,
             live_size: 0,
             next_seq: 0,
             evictions: 0,
@@ -95,12 +102,12 @@ impl QSet {
 
     /// Number of live entries currently in `Q`.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.live
     }
 
     /// Returns `true` if `Q` is empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.live == 0
     }
 
     /// Total size in bytes of the live entries.
@@ -108,16 +115,22 @@ impl QSet {
         self.live_size
     }
 
+    /// The live sequence number of `id`, or [`NO_SEQ`].
+    #[inline]
+    fn seq_of(&self, id: u32) -> u64 {
+        self.index.get(id as usize).copied().unwrap_or(NO_SEQ)
+    }
+
     /// Returns `true` if the block currently has a live entry.
     pub fn contains(&self, id: u32) -> bool {
-        self.index.contains_key(&id)
+        self.seq_of(id) != NO_SEQ
     }
 
     /// Live entries, oldest first.
     pub fn entries(&self) -> impl Iterator<Item = u32> + '_ {
         self.slots
             .iter()
-            .filter(|s| self.index.get(&s.id) == Some(&s.seq))
+            .filter(|s| self.seq_of(s.id) == s.seq)
             .map(|s| s.id)
     }
 
@@ -128,16 +141,34 @@ impl QSet {
     /// The returned event drives TRG construction: for each id in
     /// `interleaved`, increment the TRG edge `{id, current}` by one.
     pub fn process(&mut self, id: u32, size: u32) -> QSetEvent {
-        let prev_seq = self.index.get(&id).copied();
+        let mut interleaved = Vec::new();
+        let had_previous = self.process_into(id, size, &mut interleaved);
+        QSetEvent {
+            had_previous,
+            interleaved,
+        }
+    }
+
+    /// Allocation-free [`process`](QSet::process): writes the interleaved
+    /// blocks into a caller-supplied buffer (cleared first) and returns
+    /// `had_previous`. The per-record hot path of the profiler reuses one
+    /// scratch buffer across the whole trace instead of allocating a
+    /// `Vec` per reference.
+    pub fn process_into(&mut self, id: u32, size: u32, interleaved: &mut Vec<u32>) -> bool {
+        interleaved.clear();
+        let idx = id as usize;
+        if idx >= self.index.len() {
+            self.index.resize(idx + 1, NO_SEQ);
+        }
+        let prev = self.index[idx];
 
         // Analysis: collect live blocks newer than the previous reference.
-        let mut interleaved = Vec::new();
-        if let Some(prev) = prev_seq {
+        if prev != NO_SEQ {
             for slot in self.slots.iter().rev() {
                 if slot.seq <= prev {
                     break;
                 }
-                if self.index.get(&slot.id) == Some(&slot.seq) {
+                if self.index[slot.id as usize] == slot.seq {
                     interleaved.push(slot.id);
                 }
             }
@@ -146,22 +177,17 @@ impl QSet {
         // Supersede any previous reference (it becomes stale in `slots`).
         let seq = self.next_seq;
         self.next_seq += 1;
-        match self.index.entry(id) {
-            Entry::Occupied(mut e) => {
-                e.insert(seq);
-                // live_size unchanged: same id, same size.
-            }
-            Entry::Vacant(e) => {
-                e.insert(seq);
-                self.live_size += u64::from(size);
-            }
+        if prev == NO_SEQ {
+            self.live += 1;
+            self.live_size += u64::from(size);
         }
+        self.index[idx] = seq;
         self.slots.push_back(Slot { id, size, seq });
 
         // Maintenance: drop stale slots at the front for free; evict the
         // oldest live id while the rest still meets the bound.
         while let Some(front) = self.slots.front().copied() {
-            if self.index.get(&front.id) != Some(&front.seq) {
+            if self.index[front.id as usize] != front.seq {
                 self.slots.pop_front(); // stale
                 continue;
             }
@@ -170,7 +196,8 @@ impl QSet {
             }
             if self.live_size - u64::from(front.size) >= self.bound {
                 self.slots.pop_front();
-                self.index.remove(&front.id);
+                self.index[front.id as usize] = NO_SEQ;
+                self.live -= 1;
                 self.live_size -= u64::from(front.size);
                 self.evictions += 1;
             } else {
@@ -185,20 +212,17 @@ impl QSet {
         // patterns. Sweep out stale slots once they outnumber live ones;
         // amortized O(1) per reference, and `slots` stays within
         // `max(16, 2 × live entries)`.
-        if self.slots.len() > (self.index.len() * 2).max(16) {
+        if self.slots.len() > (self.live * 2).max(16) {
             let index = &self.index;
-            self.slots.retain(|s| index.get(&s.id) == Some(&s.seq));
+            self.slots.retain(|s| index[s.id as usize] == s.seq);
         }
 
         // Occupancy sample (after maintenance), for Table 1 reporting.
-        self.occupancy_sum += self.index.len() as u64;
+        self.occupancy_sum += self.live as u64;
         self.occupancy_samples += 1;
-        self.occupancy_max = self.occupancy_max.max(self.index.len());
+        self.occupancy_max = self.occupancy_max.max(self.live);
 
-        QSetEvent {
-            had_previous: prev_seq.is_some(),
-            interleaved,
-        }
+        prev != NO_SEQ
     }
 
     /// Average number of live entries observed after each processing step.

@@ -231,6 +231,106 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Batched kernel ≡ scalar kernel
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SoA block kernel (branchless direct-mapped fast path included)
+    /// must be byte-identical to per-record stepping for random traces ×
+    /// random layouts × cache configs, at every block-boundary split.
+    #[test]
+    fn batched_simulator_is_byte_identical_to_scalar(
+        (program, trace) in program_and_trace(),
+        seed in any::<u64>(),
+        pad in 0u64..64,
+        config_pick in 0usize..4,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        use tempo::cache::Simulator;
+
+        let cache = [
+            CacheConfig::direct_mapped(2048).unwrap(),
+            CacheConfig::direct_mapped_8k(),
+            CacheConfig::two_way_8k(),
+            CacheConfig::new(1024, 32, 32).unwrap(),
+        ][config_pick];
+        let mut order: Vec<ProcId> = program.ids().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let layout = Layout::from_order(&program, &order)
+            .unwrap()
+            .with_uniform_padding(&program, pad);
+
+        let mut scalar = Simulator::new(&program, &layout, cache);
+        for r in trace.iter() {
+            scalar.step(r);
+        }
+
+        let procs: Vec<u32> = trace.iter().map(|r| r.proc.index()).collect();
+        let bytes: Vec<u32> = trace.iter().map(|r| r.bytes).collect();
+        let mut batched = Simulator::new(&program, &layout, cache);
+        // Feed blocks of growing, uneven sizes so splits land everywhere.
+        let mut at = 0usize;
+        let mut chunk = 1usize;
+        while at < procs.len() {
+            let end = (at + chunk).min(procs.len());
+            batched.step_block(&procs[at..end], &bytes[at..end]);
+            at = end;
+            chunk = chunk * 2 + 1;
+        }
+        prop_assert_eq!(batched.stats(), scalar.stats());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Varint encoding-length boundaries
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Records whose fields sit at LEB128 encoding-length boundaries
+    /// (1↔2 bytes at 0x7F/0x80, 2↔3 at 0x3FFF/0x4000, and the 5-byte
+    /// ceiling at `u32::MAX`) survive the v2 container exactly, through
+    /// both the streaming and the whole-buffer reader.
+    #[test]
+    fn v2_roundtrips_at_varint_boundaries(
+        picks in prop::collection::vec((0usize..8, 0usize..7, -1i64..=1), 1..100),
+        frame_records in 1usize..20,
+    ) {
+        use tempo::trace::v2::V2Writer;
+        use tempo::trace::MmapSource;
+
+        const EDGES: [u32; 8] = [0, 0x7F, 0x80, 0x3FFF, 0x4000, 0x001F_FFFF, 0x0020_0000, u32::MAX];
+        let records: Vec<TraceRecord> = picks
+            .iter()
+            .map(|&(p, b, wiggle)| {
+                let proc = EDGES[p].wrapping_add_signed(wiggle as i32);
+                let bytes = EDGES[b].wrapping_add_signed(wiggle as i32).max(1);
+                TraceRecord::new(ProcId::new(proc), bytes)
+            })
+            .collect();
+        let trace = Trace::from_records(records);
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, frame_records).unwrap();
+        for r in trace.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        let streamed = tempo::trace::v2::read_binary_v2(buf.as_slice()).unwrap();
+        prop_assert_eq!(streamed.records(), trace.records());
+        let mut mapped = MmapSource::from_bytes(buf).unwrap();
+        let mut back = Trace::default();
+        tempo::trace::pump(&mut mapped, &mut back).unwrap();
+        prop_assert_eq!(back.records(), trace.records());
+    }
+}
+
+// ---------------------------------------------------------------------
 // Placement robustness: every algorithm yields a valid layout on
 // arbitrary program/trace pairs.
 // ---------------------------------------------------------------------

@@ -92,6 +92,81 @@ fn streaming_matches_materialized_across_all_sources() {
     assert_eq!(swept, materialized, "shared-stream sweep drifted");
 }
 
+/// Pins the zero-copy ingestion path on a Table-1 workload: the
+/// whole-buffer `MmapSource` and the streaming `V2Source` must yield
+/// identical records, identical profiles, and identical miss counts, and
+/// `open_v2_auto` must land on both paths depending on its budget.
+#[test]
+fn mmap_ingestion_matches_streaming_on_table1_workload() {
+    use tempo::trace::{open_v2_auto, MmapSource, TraceSource};
+
+    let model = suite::m88ksim();
+    let program = model.program();
+    let cache = CacheConfig::direct_mapped_8k();
+    let records = 30_000;
+
+    // Round-trip the training trace through a TMP2 file on disk.
+    let dir = std::env::temp_dir().join("tempo_streaming_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("table1.v2");
+    let train = model.training_trace(records);
+    let mut buf = Vec::new();
+    write_binary_v2(&mut buf, &train).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+
+    // Record-for-record equality of the two readers.
+    let mut mapped = MmapSource::open(&path).unwrap();
+    let mut streamed = V2Source::new(buf.as_slice()).unwrap();
+    loop {
+        let (a, b) = (mapped.try_next().unwrap(), streamed.try_next().unwrap());
+        assert_eq!(a, b, "readers disagree");
+        if a.is_none() {
+            break;
+        }
+    }
+
+    // Identical profiles...
+    let (via_mmap, warnings) = Session::new(program, cache)
+        .profile_with(|| MmapSource::open(&path))
+        .unwrap();
+    assert!(warnings.is_clean());
+    let (via_stream, _) = Session::new(program, cache)
+        .profile_with(|| V2Source::new(buf.as_slice()))
+        .unwrap();
+    assert!(
+        via_mmap.profile() == via_stream.profile(),
+        "mmap-ingested profile differs from the streamed one"
+    );
+
+    // ...and identical miss counts through the shared-stream sweep.
+    let layouts = vec![
+        Layout::source_order(program),
+        via_mmap.place(&PettisHansen::new()),
+        via_mmap.place(&Gbsc::new()),
+    ];
+    let from_mmap = via_mmap
+        .evaluate_layouts_streamed(&layouts, MmapSource::open(&path).unwrap())
+        .unwrap();
+    let from_stream = via_mmap
+        .evaluate_layouts_streamed(&layouts, V2Source::new(buf.as_slice()).unwrap())
+        .unwrap();
+    assert_eq!(from_mmap, from_stream, "miss counts drifted between paths");
+
+    // The auto-opener picks each path by budget and both agree.
+    let auto_mapped = open_v2_auto(&path, Some(u64::MAX)).unwrap();
+    assert!(auto_mapped.is_mapped());
+    let auto_streamed = open_v2_auto(&path, Some(0)).unwrap();
+    assert!(!auto_streamed.is_mapped());
+    let a = via_mmap
+        .evaluate_layouts_streamed(&layouts, auto_mapped)
+        .unwrap();
+    let b = via_mmap
+        .evaluate_layouts_streamed(&layouts, auto_streamed)
+        .unwrap();
+    assert_eq!(a, from_mmap);
+    assert_eq!(b, from_mmap);
+}
+
 /// A fixed 9-procedure program for the v2 container properties.
 fn test_program() -> Program {
     let mut b = Program::builder();
@@ -237,5 +312,47 @@ proptest! {
         let mut expected = trace.records()[..lo].to_vec();
         expected.extend_from_slice(&trace.records()[hi..]);
         prop_assert_eq!(back.records(), expected.as_slice());
+    }
+
+    /// The whole-buffer `MmapSource` agrees with the streaming `V2Source`
+    /// record-for-record and warning-for-warning on arbitrary containers,
+    /// including ones with a corrupted or truncated frame.
+    #[test]
+    fn mmap_agrees_with_streaming_under_corruption(
+        refs in arb_refs(),
+        frame_records in 1usize..50,
+        mangle in any::<bool>(),
+        frame_pick in 0usize..10_000,
+        byte_pick in 0usize..1_000_000,
+        truncate_tail in any::<bool>(),
+    ) {
+        use tempo::trace::{MmapSource, TraceSource};
+
+        let program = test_program();
+        let trace = to_trace(&program, &refs);
+        let mut bytes = v2_bytes(&trace, frame_records);
+        if mangle {
+            let frames = v2_frames(&bytes);
+            if !frames.is_empty() {
+                let (start, payload_len) = frames[frame_pick % frames.len()];
+                if payload_len > 0 {
+                    bytes[start + 12 + byte_pick % payload_len] ^= 0xA5;
+                }
+            }
+        }
+        if truncate_tail && bytes.len() > 9 {
+            bytes.truncate(bytes.len() - 1);
+        }
+
+        let mut mapped = MmapSource::from_bytes_lossy(bytes.clone(), Some(&program));
+        let mut streamed = V2Source::new_lossy(bytes.as_slice(), Some(&program)).unwrap();
+        loop {
+            let (a, b) = (mapped.try_next().unwrap(), streamed.try_next().unwrap());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(mapped.warnings(), streamed.warnings());
     }
 }
