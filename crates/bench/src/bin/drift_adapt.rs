@@ -1,0 +1,6 @@
+//! Thin wrapper over the shared harness; the experiment body lives in
+//! [`tempo_bench::experiments::drift_adapt`].
+
+fn main() {
+    tempo_bench::harness::bin_main("drift_adapt");
+}

@@ -11,6 +11,7 @@ pub mod ablation_chains;
 pub mod bounds_soundness;
 pub mod cache_sweep;
 pub mod chunk_sweep;
+pub mod drift_adapt;
 pub mod fig1_motivation;
 pub mod fig2_trg_walkthrough;
 pub mod fig5;

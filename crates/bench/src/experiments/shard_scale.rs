@@ -12,12 +12,9 @@
 //! the retried/quarantined tallies go into `BENCH_run.json` via
 //! [`Ctx::metric`].
 
-use std::fs::File;
-use std::io::BufWriter;
 use std::time::Instant;
 
 use tempo::prelude::*;
-use tempo::trace::v2::V2Writer;
 use tempo::workloads::suite;
 use tempo::{profile_sharded, ShardConfig};
 
@@ -35,11 +32,7 @@ pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     let trace = model.training_trace(records);
     let path = std::env::temp_dir().join(format!("tempo-shard-scale-{}.tmp2", std::process::id()));
     let result = (|| -> Result<(), ExperimentError> {
-        {
-            let mut w = V2Writer::new(BufWriter::new(File::create(&path)?))?;
-            pump(&mut MemorySource::new(&trace), &mut w)?;
-            w.finish()?;
-        }
+        tempo::trace::testkit::write_v2_file(&path, &mut MemorySource::new(&trace))?;
         let sequential = Profiler::new(program, cache)
             .popularity(selector)
             .profile(&trace);

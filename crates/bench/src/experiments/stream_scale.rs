@@ -24,8 +24,7 @@
 use std::time::Instant;
 
 use tempo::prelude::*;
-use tempo::trace::v2::V2Writer;
-use tempo::trace::{open_v2_auto, TraceSource};
+use tempo::trace::open_v2_auto;
 use tempo::workloads::suite;
 
 use crate::checked_place;
@@ -42,15 +41,7 @@ pub(crate) fn run(ctx: &mut Ctx) -> Result<(), ExperimentError> {
     // producing the fixture is not. The writer consumes the generator
     // record by record, so nothing is materialized here either.
     let path = std::env::temp_dir().join(format!("tempo_stream_scale_{records}.v2"));
-    {
-        let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        let mut writer = V2Writer::new(file)?;
-        let mut source = model.testing_source(records);
-        while let Some(r) = source.try_next()? {
-            writer.push(&r)?;
-        }
-        writer.finish()?;
-    }
+    tempo::trace::testkit::write_v2_file(&path, &mut model.testing_source(records))?;
 
     let start = Instant::now();
     // Two streaming passes (popularity, then Q) over the training input.

@@ -437,6 +437,14 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         run: crate::experiments::stream_scale::run,
     },
     ExperimentSpec {
+        name: "drift_adapt",
+        title: "Drift adaptation (incremental engine vs frozen layout)",
+        default_records: 60_000,
+        default_runs: 1,
+        has_csv: false,
+        run: crate::experiments::drift_adapt::run,
+    },
+    ExperimentSpec {
         name: "shard_scale",
         title: "Supervised sharded profiling (merge==sequential, per-jobs throughput)",
         default_records: 200_000,

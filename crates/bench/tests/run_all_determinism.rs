@@ -39,7 +39,8 @@ fn run_all_outputs_independent_of_worker_count() {
     // "wrote <path>" report lines. The SweepRunner matrix has its own
     // jobs-independence proptest (tests/sweep_jobs.rs), so cache_sweep —
     // by far the most expensive experiment in a debug build — is not
-    // repeated here.
+    // repeated here. drift_adapt exercises the incremental engine's
+    // serial epoch loop, whose report must not depend on the pool either.
     let serial_opts = RunAllOpts {
         records: Some(1_000),
         runs: Some(2),
@@ -47,7 +48,7 @@ fn run_all_outputs_independent_of_worker_count() {
         out_dir: dir.clone(),
         bench_json: None,
         only: Some(
-            ["fig5", "fig6", "s_sweep"]
+            ["fig5", "fig6", "s_sweep", "drift_adapt"]
                 .iter()
                 .map(|s| (*s).to_string())
                 .collect(),
@@ -60,8 +61,8 @@ fn run_all_outputs_independent_of_worker_count() {
     assert!(report.all_ok(), "serial run failed: {report:?}");
     assert_eq!(report.jobs, 1);
     let serial = snapshot(&dir);
-    // 3 reports + fig5/fig6 CSVs.
-    assert_eq!(serial.len(), 5, "unexpected outputs: {:?}", serial.keys());
+    // 4 reports + fig5/fig6 CSVs.
+    assert_eq!(serial.len(), 6, "unexpected outputs: {:?}", serial.keys());
 
     // Re-run into the same path so embedded path strings cannot differ.
     fs::remove_dir_all(&dir).unwrap();

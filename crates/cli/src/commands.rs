@@ -623,6 +623,135 @@ pub fn place(args: &ArgMap) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `engine`: drive the incremental epoch engine over a trace — decaying
+/// profile window, drift-triggered re-placement — writing the final
+/// adopted layout (and optionally a per-epoch CSV).
+///
+/// With `--decay 1.0` and `--epoch-records` at least the trace length the
+/// run degenerates to the one-shot pipeline: the layout written is
+/// byte-identical to `profile` + `place` with the same algorithm.
+pub fn engine(args: &ArgMap) -> Result<(), CliError> {
+    let program = load_program(args)?;
+    let mode = trace_read_mode(args)?;
+    let cache = args.cache()?;
+    let algorithm = algorithm_by_name(args.get("algorithm").unwrap_or("gbsc"))?;
+    let coverage: f64 = args.get_or("coverage", 0.995)?;
+    let epoch_records: u64 = args.get_or("epoch-records", 100_000)?;
+    let decay: f64 = args.get_or("decay", 1.0)?;
+    let replace_threshold: f64 = args.get_or("replace-threshold", 0.02)?;
+    let evaluate = args.switch("evaluate");
+    let trace_path = args.require("trace")?.to_string();
+    let out = args.require("out")?.to_string();
+    let epochs_out = args.get("epochs-out").map(str::to_string);
+    args.finish()?;
+
+    if !(decay.is_finite() && decay > 0.0 && decay <= 1.0) {
+        return Err(CliError::Usage(format!(
+            "--decay must be within (0, 1], got {decay}"
+        )));
+    }
+    if epoch_records == 0 {
+        return Err(CliError::Usage("--epoch-records must be positive".into()));
+    }
+
+    let mut config = tempo::EngineConfig::new(cache);
+    config.selector = PopularitySelector::coverage(coverage).with_min_count(2);
+    config.epoch_records = epoch_records;
+    config.decay = decay;
+    config.replace_threshold = replace_threshold;
+    config.evaluate = evaluate || epochs_out.is_some();
+
+    // Frame-aligned epoch plan for v2 containers (the same alignment the
+    // sharded profiler uses); v1 traces chunk by plain record count.
+    let plan = {
+        let mut r = open(&trace_path)?;
+        let head = r.fill_buf()?;
+        if head.len() >= 4 && head[0..4] == MAGIC_V2 {
+            let frames = tempo::trace::v2::scan_frames(r).map_err(trace_cli_error)?;
+            Some(tempo::plan_epochs(&frames, epoch_records))
+        } else {
+            None
+        }
+    };
+
+    let span = tempo_obs::span("stage.engine");
+    let mut engine = tempo::Engine::new(&program, &*algorithm, config);
+    let source = open_file_source(&trace_path, &program, mode).map_err(trace_cli_error)?;
+    let reports = match &plan {
+        Some(plan) => engine.run_planned(source, plan),
+        None => engine.run_source(source),
+    }
+    .map_err(trace_cli_error)?;
+    span.finish();
+
+    let Some(layout) = engine.layout() else {
+        return Err(CliError::Inconsistent(
+            "trace produced no epochs; no layout to write".to_string(),
+        ));
+    };
+    layout
+        .validate(&program)
+        .map_err(|e| CliError::Inconsistent(format!("engine produced invalid layout: {e}")))?;
+    tempo::program::io::write_layout(create(&out)?, layout)
+        .map_err(|e| CliError::parse("layout", e))?;
+
+    if let Some(path) = &epochs_out {
+        let mut w = create(path)?;
+        writeln!(
+            w,
+            "epoch,records,current_hi,fresh_hi,improvement,placed,replaced,misses,instructions,miss_rate"
+        )?;
+        for r in &reports {
+            let (misses, instructions, rate) = match &r.stats {
+                Some(s) => (
+                    s.misses.to_string(),
+                    s.instructions.to_string(),
+                    format!("{:.6}", s.miss_rate()),
+                ),
+                None => (String::new(), String::new(), String::new()),
+            };
+            writeln!(
+                w,
+                "{},{},{},{},{:.6},{},{},{},{},{}",
+                r.epoch,
+                r.records,
+                r.current_hi,
+                r.fresh_hi,
+                r.improvement,
+                u8::from(r.placed),
+                u8::from(r.replaced),
+                misses,
+                instructions,
+                rate
+            )?;
+        }
+    }
+
+    let replacements = reports.iter().filter(|r| r.replaced).count();
+    let skips = reports.iter().filter(|r| !r.placed).count();
+    tempo_obs::event(
+        "engine",
+        "engine run complete",
+        &[
+            ("epochs", reports.len().into()),
+            ("replacements", replacements.into()),
+            ("drift_skips", skips.into()),
+            ("decay", decay.into()),
+        ],
+    );
+    println!(
+        "wrote {out}: {} epochs, {} replacements, {} drift skips, span {} bytes",
+        reports.len(),
+        replacements,
+        skips,
+        layout.span(&program)
+    );
+    if let Some(path) = &epochs_out {
+        println!("wrote {path}: per-epoch report");
+    }
+    Ok(())
+}
+
 /// `simulate`: miss-simulate a layout against a trace.
 ///
 /// With `--stream` the trace drives the simulator in one constant-memory

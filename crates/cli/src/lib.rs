@@ -56,6 +56,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "generate" => commands::generate(&parsed),
         "profile" => commands::profile(&parsed),
         "place" => commands::place(&parsed),
+        "engine" => commands::engine(&parsed),
         "simulate" => commands::simulate(&parsed),
         "convert" => commands::convert(&parsed),
         "analyze" => commands::analyze(&parsed),
@@ -110,6 +111,20 @@ commands:
       run a placement algorithm (default|random[:SEED]|ph|hkc|gbsc|gbsc-sa|
       trg-chains|wcg-offsets); --map emits a name/address symbol map;
       budgets degrade requested -> ph -> identity on exhaustion
+  engine    --program FILE --trace FILE --out FILE [--algorithm NAME]
+            [--cache SIZExLINExASSOC] [--coverage F] [--epoch-records N]
+            [--decay F] [--replace-threshold F] [--epochs-out CSV]
+            [--evaluate] [--lossy|--strict]
+      consume the trace in epochs through the incremental engine: each
+      epoch is profiled, aged into a decaying window (--decay 1.0 keeps
+      everything), and a cheap drift check skips re-placement until the
+      incumbent's static miss-bound ceiling drifts past
+      --replace-threshold, which also gates adopting the fresh candidate
+      (fractional; negative re-places every epoch); v2 traces align
+      epochs to frame boundaries; --epochs-out writes one CSV row per
+      epoch (with per-epoch simulation of the layout in force); with
+      --decay 1.0 and one epoch the layout written is byte-identical
+      to profile + place
   simulate  --program FILE --layout FILE --trace FILE
             [--cache SIZExLINExASSOC] [--classify] [--lossy|--strict]
             [--stream] [--max-memory MB]

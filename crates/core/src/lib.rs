@@ -62,10 +62,12 @@ pub use tempo_trg as trg;
 pub use tempo_workloads as workloads;
 
 mod compare;
+mod engine;
 mod session;
 mod shard;
 
 pub use compare::{compare, Comparison, ComparisonRow};
+pub use engine::{plan_epochs, Engine, EngineConfig, EpochReport};
 pub use session::{ProfiledSession, Session};
 pub use shard::{
     plan_shards, profile_sharded, ShardConfig, ShardError, ShardFaultHook, ShardOutcome,
@@ -85,5 +87,5 @@ pub mod prelude {
     pub use tempo_trace::{pump, MemorySource, Tee, Trace, TraceRecord, TraceSink, TraceSource};
     pub use tempo_trg::{PopularitySelector, ProfileData, ProfileWarnings, Profiler};
 
-    pub use crate::{compare, Comparison, ProfiledSession, Session};
+    pub use crate::{compare, Comparison, Engine, EngineConfig, ProfiledSession, Session};
 }

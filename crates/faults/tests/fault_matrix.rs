@@ -114,12 +114,7 @@ fn readers_never_panic_and_lossy_always_recovers() {
 /// every fault class has many frame headers and payloads to land in.
 fn v2_fixture_bytes(v1: &[u8]) -> Vec<u8> {
     let trace = tempo::trace::io::read_binary(v1).unwrap();
-    let mut buf = Vec::new();
-    let mut writer = tempo::trace::v2::V2Writer::with_frame_records(&mut buf, 100).unwrap();
-    let mut source = MemorySource::new(&trace);
-    pump(&mut source, &mut writer).unwrap();
-    writer.finish().unwrap();
-    buf
+    tempo::trace::testkit::v2_bytes(&trace, 100).unwrap()
 }
 
 #[test]

@@ -19,6 +19,9 @@
 //! * [`mmap`] — whole-buffer zero-copy ingestion of v2 containers with a
 //!   size-budgeted automatic fallback to the streaming reader
 //!   ([`mmap::open_v2_auto`]).
+//! * [`testkit`] — TMP2 fixture builders shared by integration tests and
+//!   the bench harness (in-memory containers at a chosen frame
+//!   granularity, constant-memory file fixtures from any source).
 //! * [`stats`] — the small statistical samplers (normal, lognormal, Zipf)
 //!   used by the workload substrate and the profile-perturbation machinery,
 //!   implemented in-repo so the only randomness dependency is `rand`.
@@ -54,6 +57,7 @@ pub mod mmap;
 pub mod obs;
 pub mod source;
 pub mod stats;
+pub mod testkit;
 mod trace;
 pub mod v2;
 

@@ -1,0 +1,90 @@
+//! TMP2 fixture builders shared by integration tests and the bench
+//! harness.
+//!
+//! Several consumers need the same two moves: freeze a [`Trace`] into an
+//! in-memory v2 container at a chosen frame granularity (so corruption
+//! and framing tests control where frame boundaries fall), or drain a
+//! [`TraceSource`] into a v2 file on disk without materializing it (so
+//! scale experiments can build multi-gigabyte fixtures in constant
+//! memory). Each used to hand-roll the `V2Writer` + [`pump`] dance;
+//! drift between the copies is exactly how a fixture stops matching the
+//! format the readers are tested against. This module is compiled
+//! unconditionally — not `cfg(test)` — because the bench crate consumes
+//! it from ordinary (non-test) experiment code.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::io::TraceIoError;
+use crate::source::{pump, MemorySource, TraceSource};
+use crate::v2::V2Writer;
+use crate::Trace;
+
+/// Serializes `trace` into an in-memory TMP2 container with
+/// `frame_records` records per frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the in-memory writer (allocation-failure
+/// territory; callers in tests typically `unwrap`).
+pub fn v2_bytes(trace: &Trace, frame_records: usize) -> Result<Vec<u8>, TraceIoError> {
+    let mut buf = Vec::new();
+    let mut writer = V2Writer::with_frame_records(&mut buf, frame_records)?;
+    pump(&mut MemorySource::new(trace), &mut writer)?;
+    writer.finish()?;
+    Ok(buf)
+}
+
+/// Drains `source` into a TMP2 container at `path` (default frame
+/// granularity), returning the number of records written. The source is
+/// consumed record by record, so nothing is materialized.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file and read
+/// errors from the source.
+pub fn write_v2_file<S: TraceSource + ?Sized>(
+    path: &Path,
+    source: &mut S,
+) -> Result<u64, TraceIoError> {
+    let file = BufWriter::new(File::create(path)?);
+    let mut writer = V2Writer::new(file)?;
+    let summary = pump(source, &mut writer)?;
+    writer.finish()?.flush()?;
+    Ok(summary.records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::v2::read_binary_v2;
+    use crate::TraceRecord;
+    use tempo_program::ProcId;
+
+    fn sample() -> Trace {
+        Trace::from_records(
+            (0..25)
+                .map(|i| TraceRecord::new(ProcId::new(i % 4), 16 + i))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn v2_bytes_round_trips() {
+        let trace = sample();
+        let bytes = v2_bytes(&trace, 7).unwrap();
+        assert_eq!(read_binary_v2(bytes.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn write_v2_file_round_trips_and_counts() {
+        let trace = sample();
+        let path = std::env::temp_dir().join(format!("tempo_testkit_{}.v2", std::process::id()));
+        let written = write_v2_file(&path, &mut MemorySource::new(&trace)).unwrap();
+        assert_eq!(written, trace.len() as u64);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read_binary_v2(bytes.as_slice()).unwrap(), trace);
+    }
+}

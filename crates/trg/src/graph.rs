@@ -186,6 +186,56 @@ impl WeightedGraph {
         }
     }
 
+    /// Multiplies every edge weight by `factor` in place — the aging step
+    /// of a decaying profile window.
+    ///
+    /// Each weight is scaled by one IEEE multiplication, so the result is
+    /// deterministic for a given graph and factor. Edges whose weight
+    /// underflows to exactly zero are removed so a long-decayed graph does
+    /// not accumulate dead entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or not strictly positive.
+    pub fn scale_weights(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        let mut dead: Vec<(u32, u32)> = Vec::new();
+        for (&key, w) in &mut self.edges {
+            *w *= factor;
+            if *w == 0.0 {
+                dead.push(key);
+            }
+        }
+        for (a, b) in dead {
+            self.remove_edge(a, b);
+        }
+    }
+
+    /// Subtracts every edge weight of `other` from this graph, removing
+    /// edges whose weight reaches zero (or would go negative) — the
+    /// inverse of [`merge_from`](WeightedGraph::merge_from) for retiring an
+    /// epoch from a sliding window.
+    ///
+    /// Because weights are integer event counts (exact in `f64` below
+    /// 2^53), subtracting a graph that was previously merged in restores
+    /// the pre-merge graph bit-for-bit, including the edge set: an edge
+    /// contributed solely by the retired epoch lands on exactly `0.0` and
+    /// is removed. Edges present in `other` but absent here are ignored.
+    pub fn subtract_from(&mut self, other: &WeightedGraph) {
+        for e in other.edges() {
+            let key = Self::key(e.a, e.b);
+            if let Some(w) = self.edges.get_mut(&key) {
+                *w -= e.w;
+                if *w <= 0.0 {
+                    self.remove_edge(e.a, e.b);
+                }
+            }
+        }
+    }
+
     /// Returns a copy with every weight multiplied by `exp(s·X)`,
     /// `X ~ N(0, 1)` — the paper's §5.1 profile perturbation. `s = 0`
     /// returns an identical copy.
@@ -355,6 +405,32 @@ mod tests {
         let before = a.clone();
         a.merge_from(&WeightedGraph::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn scale_weights_multiplies_in_place() {
+        let mut g: WeightedGraph = [(0, 1, 8.0), (1, 2, 2.0)].into_iter().collect();
+        g.scale_weights(0.5);
+        assert_eq!(g.weight(0, 1), 4.0);
+        assert_eq!(g.weight(1, 2), 1.0);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn subtract_from_inverts_merge_from() {
+        let base: WeightedGraph = [(0, 1, 2.0), (1, 2, 3.0)].into_iter().collect();
+        let epoch: WeightedGraph = [(0, 1, 5.0), (2, 3, 7.0)].into_iter().collect();
+        let mut g = base.clone();
+        g.merge_from(&epoch);
+        g.subtract_from(&epoch);
+        // Exact inverse: weights restore and epoch-only edges vanish,
+        // adjacency included.
+        assert_eq!(g, base);
+        assert_eq!(g.node_count(), 3);
+        // Subtracting edges we never had is a no-op.
+        let mut h = base.clone();
+        h.subtract_from(&[(5, 6, 1.0)].into_iter().collect());
+        assert_eq!(h, base);
     }
 
     #[test]

@@ -132,6 +132,42 @@ impl PairDb {
         self.index_dirty = true;
     }
 
+    /// Multiplies every association count by `factor` in place — the aging
+    /// step of a decaying profile window. Associations that underflow to
+    /// exactly zero are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or not strictly positive.
+    pub fn scale(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        self.counts.retain(|_, w| {
+            *w *= factor;
+            *w != 0.0
+        });
+        self.index_dirty = true;
+    }
+
+    /// Subtracts every association of `other`, removing entries that reach
+    /// zero (or would go negative) — the inverse of
+    /// [`merge_from`](PairDb::merge_from) for retiring an epoch from a
+    /// sliding window. Counts are integer event tallies, so retiring a
+    /// previously merged database restores the pre-merge contents exactly.
+    pub fn subtract_from(&mut self, other: &PairDb) {
+        for (k, w) in other.iter() {
+            if let hash_map::Entry::Occupied(mut e) = self.counts.entry(k) {
+                *e.get_mut() -= w;
+                if *e.get() <= 0.0 {
+                    e.remove();
+                }
+            }
+        }
+        self.index_dirty = true;
+    }
+
     /// Total weight across all associations.
     pub fn total_weight(&self) -> f64 {
         self.counts.values().sum()
@@ -218,6 +254,26 @@ mod tests {
         assert_eq!(a.len(), 2);
         // The focal index refreshes after a merge.
         assert_eq!(a.by_focal(3).len(), 1);
+    }
+
+    #[test]
+    fn scale_and_subtract_age_and_retire() {
+        let mut db = PairDb::new();
+        db.add(0, 1, 2, 4.0);
+        db.add(3, 4, 5, 2.0);
+        db.scale(0.5);
+        assert_eq!(db.get(0, 1, 2), 2.0);
+        assert_eq!(db.get(3, 4, 5), 1.0);
+
+        let mut epoch = PairDb::new();
+        epoch.add(3, 4, 5, 1.0);
+        epoch.add(6, 7, 8, 9.0); // absent here: ignored
+        db.subtract_from(&epoch);
+        assert_eq!(db.get(3, 4, 5), 0.0);
+        assert_eq!(db.len(), 1, "zeroed association is removed");
+        // The focal index refreshes after retirement.
+        assert!(db.by_focal(3).is_empty());
+        assert_eq!(db.by_focal(0).len(), 1);
     }
 
     #[test]

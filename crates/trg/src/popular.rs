@@ -226,6 +226,43 @@ impl PopularSet {
             *c += *o;
         }
     }
+
+    /// Scales every reference count by `factor`, rounding to the nearest
+    /// integer — the aging step of a decaying profile window. Membership
+    /// flags are left untouched: a decaying window pins membership at
+    /// window start and only the counts age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or not strictly positive.
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)] // product of non-negatives
+    pub fn scale_counts(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        for c in &mut self.counts {
+            *c = ((*c as f64) * factor).round() as u64;
+        }
+    }
+
+    /// Subtracts `other`'s reference counts entry by entry, saturating at
+    /// zero — the inverse of [`merge_counts`](PopularSet::merge_counts)
+    /// for retiring an epoch from a sliding window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets differ in length or membership.
+    pub fn retire_counts(&mut self, other: &PopularSet) {
+        assert!(
+            self.same_membership(other),
+            "popular membership must match to retire counts"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_sub(*o);
+        }
+    }
 }
 
 impl fmt::Debug for PopularSet {

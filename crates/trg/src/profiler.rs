@@ -104,6 +104,37 @@ impl QStats {
         self.occupancy_sum += other.occupancy_sum;
         self.samples += other.samples;
         self.max = self.max.max(other.max);
+        self.recompute_average();
+    }
+
+    /// Scales the integer accumulators by `factor` (rounding to the
+    /// nearest integer) and recomputes `average` from the scaled sums —
+    /// the aging step of a decaying profile window. `max` is a high-water
+    /// mark over the window's whole history and is left untouched.
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)] // product of non-negatives
+    pub fn scale(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        self.occupancy_sum = ((self.occupancy_sum as f64) * factor).round() as u64;
+        self.samples = ((self.samples as f64) * factor).round() as u64;
+        self.recompute_average();
+    }
+
+    /// Subtracts `other`'s accumulators (saturating at zero) and
+    /// recomputes `average` — the inverse of
+    /// [`merge_from`](QStats::merge_from) for retiring an epoch from a
+    /// sliding window. `max` stays a high-water mark: occupancy peaks
+    /// cannot be un-observed, so retiring never lowers it.
+    pub fn retire(&mut self, other: &QStats) {
+        self.occupancy_sum = self.occupancy_sum.saturating_sub(other.occupancy_sum);
+        self.samples = self.samples.saturating_sub(other.samples);
+        self.recompute_average();
+    }
+
+    fn recompute_average(&mut self) {
         self.average = if self.samples == 0 {
             0.0
         } else {
@@ -258,6 +289,87 @@ impl ProfileData {
             (other.wcg.edge_count() + other.trg_select.edge_count() + other.trg_place.edge_count())
                 as u64,
         );
+        Ok(())
+    }
+
+    /// Ages the profile by multiplying every accumulated quantity by
+    /// `factor` — the exponential-decay step of an incremental profile
+    /// window: `window.decay(λ); window.merge(&epoch)` keeps recent epochs
+    /// at full weight while old evidence fades geometrically.
+    ///
+    /// Covered quantities: all three graphs' edge weights, the pair
+    /// database's association counts, the popular-set reference counts
+    /// (rounded to integers), and the exact Q-occupancy accumulators
+    /// (`average` recomputed from the scaled sums). Popular *membership*
+    /// and `q_stats.max` (a high-water mark) are untouched.
+    ///
+    /// Determinism: `factor == 1.0` returns without touching anything, so
+    /// a non-decaying window is bit-identical to plain merging. For
+    /// `factor < 1.0` each weight is scaled by one IEEE multiplication —
+    /// deterministic for a given profile, but **decay does not distribute
+    /// over [`merge`](ProfileData::merge)**: `decay` then `merge` is only
+    /// guaranteed equal to merging pre-decayed shards when `factor` is
+    /// 1.0, so apply decay at one fixed point in the epoch loop, never
+    /// inside a shard fan-out (see DESIGN.md §15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or outside `(0, 1]`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "decay factor must be within (0, 1]"
+        );
+        if factor == 1.0 {
+            return; // exact identity: x * 1.0 never rewrites bits
+        }
+        self.popular.scale_counts(factor);
+        self.wcg.scale_weights(factor);
+        self.trg_select.scale_weights(factor);
+        self.trg_place.scale_weights(factor);
+        if let Some(db) = self.pair_db.as_mut() {
+            db.scale(factor);
+        }
+        self.q_stats.scale(factor);
+        tempo_obs::counter("profile.decays").incr();
+    }
+
+    /// Removes a previously merged epoch profile from this window — the
+    /// subtractive inverse of [`merge`](ProfileData::merge), used by
+    /// ring-of-K sliding windows (retire the oldest epoch, merge the
+    /// newest).
+    ///
+    /// Because every merged quantity is an integer event count (exact in
+    /// `f64` below 2^53), retiring an epoch that was merged into an
+    /// **undecayed** window restores the pre-merge profile bit-for-bit,
+    /// including graph edge sets and pair-database keys — except
+    /// `q_stats.max`, which is a high-water mark and never decreases.
+    /// Retiring from a decayed window is a lossy approximation; prefer
+    /// pure decay *or* a pure ring, not both.
+    ///
+    /// # Errors
+    ///
+    /// Fails without modifying `self` under the same compatibility rules
+    /// as [`merge`](ProfileData::merge).
+    pub fn retire_epoch(&mut self, epoch: &ProfileData) -> Result<(), MergeError> {
+        if self.cache != epoch.cache {
+            return Err(MergeError::CacheMismatch);
+        }
+        if !self.popular.same_membership(&epoch.popular) {
+            return Err(MergeError::PopularMismatch);
+        }
+        if self.pair_db.is_some() != epoch.pair_db.is_some() {
+            return Err(MergeError::PairDbMismatch);
+        }
+        self.popular.retire_counts(&epoch.popular);
+        self.wcg.subtract_from(&epoch.wcg);
+        self.trg_select.subtract_from(&epoch.trg_select);
+        self.trg_place.subtract_from(&epoch.trg_place);
+        if let (Some(db), Some(o)) = (self.pair_db.as_mut(), epoch.pair_db.as_ref()) {
+            db.subtract_from(o);
+        }
+        self.q_stats.retire(&epoch.q_stats);
+        tempo_obs::counter("profile.retires").incr();
         Ok(())
     }
 
@@ -1061,6 +1173,110 @@ mod tests {
             .profile_lossy(&trace1(&p, 10));
         assert!(w.is_clean(), "unexpected: {w}");
         assert!(prof.wcg.total_weight() > 0.0);
+    }
+
+    #[test]
+    fn decay_of_one_is_bit_exact_identity() {
+        let p = program();
+        let prof = profile(&p, &trace1(&p, 10));
+        let mut decayed = prof.clone();
+        decayed.decay(1.0);
+        assert_eq!(decayed, prof);
+    }
+
+    #[test]
+    fn decay_scales_every_component() {
+        let p = program();
+        let t = trace1(&p, 10);
+        let mut prof = Profiler::new(&p, CacheConfig::direct_mapped_8k())
+            .popularity(PopularitySelector::all())
+            .with_pair_db(true)
+            .profile(&t);
+        let wcg_before = prof.wcg.weight(0, 1);
+        let trg_before = prof.trg_select.weight(1, 2);
+        let pair_before = prof.pair_db.as_ref().unwrap().total_weight();
+        let count_before = prof.popular.count_of(ProcId::new(0));
+        let sum_before = prof.q_stats.occupancy_sum;
+        prof.decay(0.5);
+        assert_eq!(prof.wcg.weight(0, 1), wcg_before * 0.5);
+        assert_eq!(prof.trg_select.weight(1, 2), trg_before * 0.5);
+        assert_eq!(
+            prof.pair_db.as_ref().unwrap().total_weight(),
+            pair_before * 0.5
+        );
+        assert_eq!(
+            prof.popular.count_of(ProcId::new(0)),
+            ((count_before as f64) * 0.5).round() as u64
+        );
+        assert_eq!(
+            prof.q_stats.occupancy_sum,
+            ((sum_before as f64) * 0.5).round() as u64
+        );
+        // Membership never decays.
+        assert!(prof.popular.is_popular(ProcId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "within (0, 1]")]
+    fn decay_rejects_out_of_range_factor() {
+        let p = program();
+        let mut prof = profile(&p, &trace1(&p, 2));
+        prof.decay(1.5);
+    }
+
+    #[test]
+    fn retire_epoch_inverts_merge_exactly() {
+        // Build two epoch profiles over the same pinned membership, merge
+        // the second into the first, then retire it: the window must come
+        // back bit-identical (q_stats.max is a high-water mark, checked
+        // separately).
+        let p = program();
+        let t1 = trace1(&p, 25);
+        let t2 = trace2(&p);
+        let cache = CacheConfig::direct_mapped_8k();
+        let global = PopularitySelector::all().select(&p, &t1);
+        let flags: Vec<bool> = (0..p.len())
+            .map(|i| global.is_popular(ProcId::new(i as u32)))
+            .collect();
+        let e1 = Profiler::new(&p, cache)
+            .with_popular(global.clone())
+            .profile(&t1);
+        let counts2: Vec<u64> = {
+            let mut c = vec![0u64; p.len()];
+            for r in t2.iter() {
+                c[r.proc.as_usize()] += 1;
+            }
+            c
+        };
+        let e2 = Profiler::new(&p, cache)
+            .with_popular(PopularSet::from_parts(flags, counts2))
+            .profile(&t2);
+
+        let mut window = e1.clone();
+        window.merge(&e2).unwrap();
+        window.retire_epoch(&e2).unwrap();
+        // Everything but the high-water mark reverts exactly.
+        let mut expect = e1.clone();
+        expect.q_stats.max = expect.q_stats.max.max(e2.q_stats.max);
+        assert_eq!(window, expect);
+    }
+
+    #[test]
+    fn retire_epoch_rejects_incompatible_profiles() {
+        let p = program();
+        let prof = profile(&p, &trace1(&p, 5));
+        let mut other = prof.clone();
+        other.cache = CacheConfig::direct_mapped(4096).unwrap();
+        assert_eq!(
+            prof.clone().retire_epoch(&other),
+            Err(MergeError::CacheMismatch)
+        );
+        let mut other = prof.clone();
+        other.pair_db = Some(PairDb::new());
+        assert_eq!(
+            prof.clone().retire_epoch(&other),
+            Err(MergeError::PairDbMismatch)
+        );
     }
 
     #[test]

@@ -14,11 +14,11 @@
 #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code asserts by panicking
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 
 use proptest::prelude::*;
 use tempo::prelude::*;
-use tempo::trace::v2::{V2Source, V2Writer};
+use tempo::trace::v2::V2Source;
 use tempo::workloads::suite;
 use tempo::{profile_sharded, ShardConfig};
 
@@ -55,9 +55,7 @@ fn segment_profile(program: &Program, refs: &[usize]) -> ProfileData {
 }
 
 fn write_v2(path: &std::path::Path, trace: &Trace) {
-    let mut w = V2Writer::new(BufWriter::new(File::create(path).unwrap())).unwrap();
-    pump(&mut MemorySource::new(trace), &mut w).unwrap();
-    w.finish().unwrap();
+    tempo::trace::testkit::write_v2_file(path, &mut MemorySource::new(trace)).unwrap();
 }
 
 // ---------------------------------------------------------------------

@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use tempo::prelude::*;
 use tempo::trace::io::{write_binary, V1Source};
-use tempo::trace::v2::{read_binary_v2_lossy, write_binary_v2, V2Source, V2Writer};
+use tempo::trace::v2::{read_binary_v2_lossy, write_binary_v2, V2Source};
 use tempo::workloads::suite;
 
 /// Pins the tentpole guarantee end to end: one materialized reference
@@ -197,12 +197,7 @@ fn to_trace(program: &Program, refs: &[(usize, u32)]) -> Trace {
 /// Serializes `trace` into the v2 container with `frame_records` records
 /// per frame.
 fn v2_bytes(trace: &Trace, frame_records: usize) -> Vec<u8> {
-    let mut buf = Vec::new();
-    let mut w = V2Writer::with_frame_records(&mut buf, frame_records).unwrap();
-    let mut src = MemorySource::new(trace);
-    pump(&mut src, &mut w).unwrap();
-    w.finish().unwrap();
-    buf
+    tempo::trace::testkit::v2_bytes(trace, frame_records).unwrap()
 }
 
 /// Offsets of each frame (start, payload_len) in a serialized v2 stream.
