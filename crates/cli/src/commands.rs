@@ -1098,6 +1098,190 @@ pub fn bench(args: &ArgMap) -> Result<(), CliError> {
     }
 }
 
+/// `daemon`: run tempod, the multi-tenant placement server, until a
+/// client sends `shutdown`.
+pub fn daemon(args: &ArgMap) -> Result<(), CliError> {
+    use tempo_daemon::{DaemonConfig, Server};
+
+    let socket = args.get("socket").map(str::to_string);
+    let tcp = args.get("tcp").map(str::to_string);
+    let mut config = DaemonConfig::new(args.cache()?);
+    if let Some(name) = args.get("algorithm") {
+        // Resolve eagerly so a typo fails at startup, not at first open.
+        algorithm_by_name(name)?;
+        config.algorithm = name.to_string();
+    }
+    config.coverage = args.get_or("coverage", config.coverage)?;
+    config.epoch_records = args.get_or("epoch-records", config.epoch_records)?;
+    config.decay = args.get_or("decay", config.decay)?;
+    config.replace_threshold = args.get_or("replace-threshold", config.replace_threshold)?;
+    config.queue_capacity = args.get_or("queue", config.queue_capacity)?;
+    if let Some(units) = args.get_parsed::<u64>("budget-work")? {
+        config.budget.max_work_units = Some(units);
+    }
+    if let Some(ms) = args.get_parsed::<u64>("budget-ms")? {
+        config.budget.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    args.finish()?;
+    if !(config.decay.is_finite() && config.decay > 0.0 && config.decay <= 1.0) {
+        return Err(CliError::Usage(format!(
+            "--decay must be within (0, 1], got {}",
+            config.decay
+        )));
+    }
+    if config.epoch_records == 0 {
+        return Err(CliError::Usage("--epoch-records must be positive".into()));
+    }
+    match (socket, tcp) {
+        (Some(path), None) => {
+            let server = Server::bind_unix(&path, config)?;
+            println!("tempod listening on {path}");
+            Ok(server.run()?)
+        }
+        (None, Some(addr)) => {
+            let server = Server::bind_tcp(&addr, config)?;
+            let bound = server
+                .tcp_addr()
+                .ok_or_else(|| CliError::Inconsistent("tcp bind lost its address".into()))?;
+            println!("tempod listening on tcp {bound}");
+            Ok(server.run()?)
+        }
+        _ => Err(CliError::Usage(
+            "pass exactly one of --socket PATH or --tcp ADDR".into(),
+        )),
+    }
+}
+
+/// `client`: talk to a running tempod — stream a trace into a tenant,
+/// fetch its layout or stats, or shut the server down. Actions combine
+/// in one invocation and run in this order: open, send trace, sync,
+/// layout, stats, server-stats, shutdown.
+pub fn client(args: &ArgMap) -> Result<(), CliError> {
+    use tempo_daemon::{split_frames, Client, ClientError};
+    use tempo_faults::ClientFault;
+
+    let socket = args.get("socket").map(str::to_string);
+    let tcp = args.get("tcp").map(str::to_string);
+    let tenant = args.get("tenant").map(str::to_string);
+    let program_path = args.get("program").map(str::to_string);
+    let trace_path = args.get("trace").map(str::to_string);
+    let layout_out = args.get("layout-out").map(str::to_string);
+    let want_stats = args.switch("stats");
+    let want_server_stats = args.switch("server-stats");
+    let want_shutdown = args.switch("shutdown");
+    let inject = args.get("inject").map(str::to_string);
+    let seed: u64 = args.get_or("seed", 0)?;
+    args.finish()?;
+
+    let daemon_err = |e: ClientError| match e {
+        ClientError::Io(e) => CliError::Io(e),
+        other => CliError::Inconsistent(other.to_string()),
+    };
+    let mut c = match (socket, tcp) {
+        (Some(path), None) => Client::connect_unix(path)?,
+        (None, Some(addr)) => Client::connect_tcp(&addr)?,
+        _ => {
+            return Err(CliError::Usage(
+                "pass exactly one of --socket PATH or --tcp ADDR".into(),
+            ))
+        }
+    };
+
+    if let Some(tenant) = &tenant {
+        let program_text = match &program_path {
+            Some(path) => Some(std::fs::read_to_string(path)?),
+            None => None,
+        };
+        c.open(tenant, program_text.as_deref())
+            .map_err(daemon_err)?;
+    }
+
+    if let Some(path) = &trace_path {
+        if tenant.is_none() {
+            return Err(CliError::Usage("--trace needs --tenant".into()));
+        }
+        let bytes = std::fs::read(path)?;
+        let frames = split_frames(&bytes)
+            .map_err(|e| CliError::parse("trace (v2 container required)", e))?;
+        match inject.as_deref() {
+            None => {
+                for frame in &frames {
+                    c.send_frame(frame).map_err(daemon_err)?;
+                }
+                let tally = c.sync().map_err(daemon_err)?;
+                println!("{}", tally.to_json());
+            }
+            Some("slow") => {
+                // Encode every frame message, then trickle the whole
+                // stream in tiny chunks; the server must reassemble.
+                let mut stream = Vec::new();
+                for frame in &frames {
+                    tempo_daemon::proto::write_message(
+                        &mut stream,
+                        tempo_daemon::proto::OP_FRAME,
+                        frame,
+                    )?;
+                }
+                for chunk in ClientFault::SlowTrickle.schedule(&stream, seed) {
+                    c.send_raw(&chunk).map_err(daemon_err)?;
+                }
+                let tally = c.sync().map_err(daemon_err)?;
+                println!("{}", tally.to_json());
+            }
+            Some("drop") => {
+                // Send a prefix of the stream and hang up mid-message:
+                // the connection dies here by design, so no sync.
+                let mut stream = Vec::new();
+                for frame in &frames {
+                    tempo_daemon::proto::write_message(
+                        &mut stream,
+                        tempo_daemon::proto::OP_FRAME,
+                        frame,
+                    )?;
+                }
+                for chunk in ClientFault::DropMidMessage.schedule(&stream, seed) {
+                    c.send_raw(&chunk).map_err(daemon_err)?;
+                }
+                println!("dropped connection mid-message (fault injection)");
+                return Ok(());
+            }
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "unknown --inject `{other}` (drop|slow)"
+                )))
+            }
+        }
+    }
+
+    if let Some(out) = &layout_out {
+        if tenant.is_none() {
+            return Err(CliError::Usage("--layout-out needs --tenant".into()));
+        }
+        let layout = c.layout().map_err(daemon_err)?;
+        if out == "-" {
+            print!("{layout}");
+        } else {
+            std::fs::write(out, &layout)?;
+            println!("wrote {out}");
+        }
+    }
+
+    if want_stats {
+        if tenant.is_none() {
+            return Err(CliError::Usage("--stats needs --tenant".into()));
+        }
+        println!("{}", c.stats().map_err(daemon_err)?);
+    }
+    if want_server_stats {
+        println!("{}", c.server_stats().map_err(daemon_err)?);
+    }
+    if want_shutdown {
+        c.shutdown().map_err(daemon_err)?;
+        println!("daemon shutting down");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

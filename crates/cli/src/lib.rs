@@ -64,6 +64,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "compare" => commands::compare(&parsed),
         "bench" => commands::bench(&parsed),
         "stats" => commands::stats(&parsed),
+        "daemon" => commands::daemon(&parsed),
+        "client" => commands::client(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -155,6 +157,24 @@ commands:
       analyzer before simulating (experiments that support it)
   stats     --metrics FILE
       render a --metrics-out JSON snapshot as the aligned text summary
+  daemon    (--socket PATH | --tcp ADDR) [--algorithm NAME]
+            [--cache SIZExLINExASSOC] [--coverage F] [--epoch-records N]
+            [--decay F] [--replace-threshold F] [--queue N]
+            [--budget-work N] [--budget-ms N]
+      run tempod, the multi-tenant placement server: each tenant gets
+      its own incremental engine fed by TMP2 frames over the socket,
+      with bounded per-tenant queues (--queue) for backpressure and an
+      optional per-tenant admission budget metered in trace records;
+      serves until a client sends --shutdown
+  client    (--socket PATH | --tcp ADDR) [--tenant NAME [--program FILE]]
+            [--trace FILE] [--layout-out FILE|-] [--stats]
+            [--server-stats] [--shutdown] [--inject drop|slow] [--seed N]
+      talk to a running tempod: --trace streams a v2 trace into the
+      tenant frame-by-frame and prints the ingestion tally;
+      --layout-out fetches the tenant's current layout (byte-identical
+      to `engine` offline on the same stream); --stats/--server-stats
+      print live metrics snapshots; --inject exercises the fault paths
+      (drop: die mid-message, slow: trickle bytes)
 
 global flags (every command):
   --metrics-out PATH   write a snapshot of all pipeline counters, gauges,

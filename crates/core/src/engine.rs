@@ -80,6 +80,12 @@ pub struct EngineConfig {
     /// epoch's placement decision), reported in
     /// [`EpochReport::stats`].
     pub evaluate: bool,
+    /// Ceiling on the records buffered for any single epoch by the
+    /// chunked runners, itself capped at [`MAX_EPOCH_RECORDS`]. Epoch or
+    /// plan lengths beyond it are split at the ceiling — untrusted plans
+    /// cannot force the whole stream into memory. Daemons serving many
+    /// tenants may lower it; raising it past the hard cap has no effect.
+    pub max_epoch_records: u64,
 }
 
 impl EngineConfig {
@@ -95,6 +101,7 @@ impl EngineConfig {
             replace_threshold: 0.02,
             drift_check: true,
             evaluate: false,
+            max_epoch_records: MAX_EPOCH_RECORDS,
         }
     }
 }
@@ -398,7 +405,9 @@ impl<'p> Engine<'p> {
     /// Consumes a source in the epochs of `plan` — record counts produced
     /// by [`plan_epochs`] so epoch boundaries align with TMP2 frame
     /// boundaries. Records beyond the plan's total are folded into one
-    /// trailing epoch.
+    /// trailing epoch (subject to the [`MAX_EPOCH_RECORDS`] buffering
+    /// ceiling, which splits a pathological tail rather than holding the
+    /// rest of the stream in memory).
     ///
     /// # Errors
     ///
@@ -408,8 +417,9 @@ impl<'p> Engine<'p> {
         source: S,
         plan: &[u64],
     ) -> Result<Vec<EpochReport>, TraceIoError> {
-        let per = self.config.epoch_records;
-        self.run_chunked(source, |i| plan.get(i).copied().unwrap_or(per))
+        // Past the plan's end everything folds into one trailing epoch:
+        // ask for an unbounded chunk and let the shared ceiling cap it.
+        self.run_chunked(source, |i| plan.get(i).copied().unwrap_or(u64::MAX))
     }
 
     fn run_chunked<S: TraceSource>(
@@ -417,17 +427,28 @@ impl<'p> Engine<'p> {
         mut source: S,
         mut epoch_len: impl FnMut(usize) -> u64,
     ) -> Result<Vec<EpochReport>, TraceIoError> {
+        // The requested length is untrusted: a hostile plan entry (or a
+        // forged TMP2 frame header feeding `plan_epochs`) must neither
+        // drive a huge preallocation nor buffer the entire stream, so the
+        // reservation is clamped to what a modest epoch needs and the
+        // buffer itself is capped at the configured ceiling — the same
+        // don't-trust-the-declared-count discipline as the v2 readers.
+        let ceiling = self.config.max_epoch_records.clamp(1, MAX_EPOCH_RECORDS);
+        let clamped = move |want: u64| want.max(1).min(ceiling);
+        #[allow(clippy::cast_possible_truncation)] // bounded by the clamp below
+        let prealloc = |want: u64| want.min(EPOCH_PREALLOC_RECORDS) as usize;
         let mut reports = Vec::new();
-        let mut buffer: Vec<TraceRecord> = Vec::new();
         let mut chunk = 0usize;
-        let mut want = epoch_len(chunk).max(1);
+        let mut want = clamped(epoch_len(chunk));
+        let mut buffer: Vec<TraceRecord> = Vec::with_capacity(prealloc(want));
         while let Some(record) = source.try_next()? {
             buffer.push(record);
             if buffer.len() as u64 >= want {
                 let epoch = Trace::from_records(std::mem::take(&mut buffer));
                 reports.push(self.observe_epoch(&epoch));
                 chunk += 1;
-                want = epoch_len(chunk).max(1);
+                want = clamped(epoch_len(chunk));
+                buffer.reserve(prealloc(want));
             }
         }
         if !buffer.is_empty() {
@@ -437,6 +458,18 @@ impl<'p> Engine<'p> {
         Ok(reports)
     }
 }
+
+/// Hard ceiling on the records buffered for a single epoch by
+/// [`Engine::run_source`] / [`Engine::run_planned`]: 8M records (64 MiB of
+/// [`TraceRecord`]s). A plan entry or `epoch_records` beyond this is split
+/// at the ceiling instead of buffered — an untrusted plan must never be
+/// able to materialize the whole stream.
+pub const MAX_EPOCH_RECORDS: u64 = 1 << 23;
+
+/// Largest up-front reservation `run_chunked` makes for an epoch buffer
+/// (64k records = 512 KiB); bigger epochs grow by pushing, so a forged
+/// length costs nothing until real records actually arrive.
+const EPOCH_PREALLOC_RECORDS: u64 = 1 << 16;
 
 impl std::fmt::Debug for Engine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -656,6 +689,62 @@ mod tests {
             vec![40, 40, 20]
         );
         assert_eq!(engine.epochs(), 3);
+    }
+
+    #[test]
+    fn run_planned_folds_overflow_into_one_trailing_epoch() {
+        // Regression: records beyond the plan's total used to fall back to
+        // epoch_records-sized chunks, contradicting the documented
+        // one-trailing-epoch contract.
+        let p = program();
+        let t = alternating_trace(&p, 50); // 100 records
+        let mut cfg = config();
+        cfg.epoch_records = 20;
+        let algorithm = Gbsc::new();
+        let mut engine = Engine::new(&p, &algorithm, cfg);
+        let reports = engine.run_planned(MemorySource::new(&t), &[10]).unwrap();
+        assert_eq!(
+            reports.iter().map(|r| r.records).collect::<Vec<_>>(),
+            vec![10, 90],
+            "everything past the plan folds into one trailing epoch"
+        );
+    }
+
+    #[test]
+    fn hostile_plan_entry_is_split_at_the_buffer_ceiling() {
+        // Regression: a forged plan entry used to size the epoch buffer
+        // unclamped; now it is split at the configured ceiling instead of
+        // buffering the stream.
+        let p = program();
+        let t = alternating_trace(&p, 50); // 100 records
+        let mut cfg = config();
+        cfg.max_epoch_records = 25;
+        let algorithm = Gbsc::new();
+        let mut engine = Engine::new(&p, &algorithm, cfg);
+        let reports = engine
+            .run_planned(MemorySource::new(&t), &[u64::MAX])
+            .unwrap();
+        assert_eq!(
+            reports.iter().map(|r| r.records).collect::<Vec<_>>(),
+            vec![25, 25, 25, 25],
+            "an absurd plan entry must chunk at max_epoch_records"
+        );
+    }
+
+    #[test]
+    fn huge_epoch_records_does_not_preallocate() {
+        // If run_chunked honored a forged length in its reservation this
+        // would abort on an impossible allocation; the clamp makes it a
+        // single whole-trace epoch instead.
+        let p = program();
+        let t = alternating_trace(&p, 50);
+        let mut cfg = config();
+        cfg.epoch_records = u64::MAX;
+        let algorithm = Gbsc::new();
+        let mut engine = Engine::new(&p, &algorithm, cfg);
+        let reports = engine.run_source(MemorySource::new(&t)).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].records, 100);
     }
 
     #[test]

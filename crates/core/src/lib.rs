@@ -67,7 +67,7 @@ mod session;
 mod shard;
 
 pub use compare::{compare, Comparison, ComparisonRow};
-pub use engine::{plan_epochs, Engine, EngineConfig, EpochReport};
+pub use engine::{plan_epochs, Engine, EngineConfig, EpochReport, MAX_EPOCH_RECORDS};
 pub use session::{ProfiledSession, Session};
 pub use shard::{
     plan_shards, profile_sharded, ShardConfig, ShardError, ShardFaultHook, ShardOutcome,

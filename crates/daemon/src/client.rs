@@ -1,0 +1,269 @@
+//! Client side of the tempod protocol: connect, open a tenant, stream
+//! frames, collect layouts and stats.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use tempo::trace::v2::{scan_frames, FRAME_HEADER_LEN};
+
+use crate::proto::{
+    read_message, write_message, OP_FRAME, OP_LAYOUT, OP_OPEN, OP_SERVER_STATS, OP_SHUTDOWN,
+    OP_STATS, OP_SYNC, STATUS_OK,
+};
+use crate::tenant::Tally;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connection refused, reset, mid-message EOF).
+    Io(io::Error),
+    /// The server replied with an error message.
+    Server(String),
+    /// The server replied with something outside the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The client's stream — both standard transports plus anything a test
+/// wants to substitute.
+trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// One connection to a tempod server.
+///
+/// ```no_run
+/// use tempo_daemon::{split_frames, Client};
+///
+/// # let (program_text, trace_bytes) = (String::new(), Vec::<u8>::new());
+/// let mut c = Client::connect_unix("/tmp/tempod.sock")?;
+/// c.open("web-frontend", Some(&program_text))?;
+/// for frame in split_frames(&trace_bytes)? {
+///     c.send_frame(frame)?;
+/// }
+/// let tally = c.sync()?;
+/// let layout_text = c.layout()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Client {
+    stream: Box<dyn Transport>,
+}
+
+impl Client {
+    /// Connects over a unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket cannot be connected.
+    pub fn connect_unix<P: AsRef<Path>>(path: P) -> io::Result<Client> {
+        Ok(Client {
+            stream: Box::new(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be connected.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: Box::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Binds this connection to `tenant`. `program` is the tenant's
+    /// program text — required the first time the name is seen by the
+    /// server, ignored on joins.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection (unknown
+    /// tenant without a program, unparseable program).
+    pub fn open(&mut self, tenant: &str, program: Option<&str>) -> Result<(), ClientError> {
+        let mut payload = tenant.as_bytes().to_vec();
+        payload.push(b'\n');
+        if let Some(text) = program {
+            payload.extend_from_slice(text.as_bytes());
+        }
+        self.request(OP_OPEN, &payload).map(|_| ())
+    }
+
+    /// Sends one raw TMP2 frame (header + payload bytes). No round trip:
+    /// frames pipeline until a [`sync`](Client::sync) barrier.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors only — frame-level verdicts surface in
+    /// the next sync's [`Tally`].
+    pub fn send_frame(&mut self, frame: &[u8]) -> Result<(), ClientError> {
+        write_message(&mut self.stream, OP_FRAME, frame)?;
+        Ok(())
+    }
+
+    /// Barrier: flushes the pipeline and returns the tenant's tally once
+    /// every frame sent before it has been processed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a server rejection, or an unparseable
+    /// tally reply.
+    pub fn sync(&mut self) -> Result<Tally, ClientError> {
+        let reply = self.request(OP_SYNC, b"")?;
+        let text = String::from_utf8_lossy(&reply);
+        Tally::from_json(&text)
+            .ok_or_else(|| ClientError::Protocol(format!("unparseable tally reply: {text}")))
+    }
+
+    /// Asks the tenant to fold its pending tail into a final epoch and
+    /// returns the adopted layout in `tempo-layout` text form.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server rejection (e.g. no epochs
+    /// observed yet).
+    pub fn layout(&mut self) -> Result<String, ClientError> {
+        let reply = self.request(OP_LAYOUT, b"")?;
+        String::from_utf8(reply)
+            .map_err(|_| ClientError::Protocol("layout reply is not UTF-8".to_string()))
+    }
+
+    /// Returns the tenant's scoped metrics snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server rejection.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let reply = self.request(OP_STATS, b"")?;
+        String::from_utf8(reply)
+            .map_err(|_| ClientError::Protocol("stats reply is not UTF-8".to_string()))
+    }
+
+    /// Returns the process-global metrics snapshot as JSON. Valid before
+    /// [`open`](Client::open).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server rejection.
+    pub fn server_stats(&mut self) -> Result<String, ClientError> {
+        let reply = self.request(OP_SERVER_STATS, b"")?;
+        String::from_utf8(reply)
+            .map_err(|_| ClientError::Protocol("server-stats reply is not UTF-8".to_string()))
+    }
+
+    /// Asks the server to shut down after current connections drain.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(OP_SHUTDOWN, b"").map(|_| ())
+    }
+
+    /// Writes raw bytes straight onto the transport — the hook the fault
+    /// injectors ([`tempo-faults`'s `ClientFault`]) use to model clients
+    /// that die mid-message or trickle bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    ///
+    /// [`tempo-faults`'s `ClientFault`]: crate#observability
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// One request/reply round trip.
+    fn request(&mut self, code: u8, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_message(&mut self.stream, code, payload)?;
+        self.stream.flush()?;
+        let Some((status, reply)) = read_message(&mut self.stream)? else {
+            return Err(ClientError::Protocol(
+                "server closed the connection instead of replying".to_string(),
+            ));
+        };
+        if status == STATUS_OK {
+            Ok(reply)
+        } else {
+            Err(ClientError::Server(
+                String::from_utf8_lossy(&reply).into_owned(),
+            ))
+        }
+    }
+}
+
+/// Splits a whole on-disk TMP2 v2 stream into its raw frames — each
+/// returned slice is exactly one `send_frame` payload (header included,
+/// preamble excluded).
+///
+/// # Errors
+///
+/// Fails when the bytes are not a structurally valid v2 stream.
+pub fn split_frames(bytes: &[u8]) -> io::Result<Vec<&[u8]>> {
+    let entries = scan_frames(bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut frames = Vec::with_capacity(entries.len());
+    for e in &entries {
+        let start = usize::try_from(e.offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame offset overflow"))?;
+        let end = start + FRAME_HEADER_LEN + e.payload_len as usize;
+        frames.push(&bytes[start..end]);
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo::program::ProcId;
+    use tempo::trace::v2::{decode_frame, V2Writer};
+    use tempo::trace::{Trace, TraceRecord};
+
+    #[test]
+    fn split_frames_covers_the_stream_and_each_piece_decodes() {
+        let records: Vec<_> = (0..25)
+            .map(|i| TraceRecord::new(ProcId::new(i % 5), i + 1))
+            .collect();
+        let t = Trace::from_records(records);
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, 10).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        let frames = split_frames(&buf).unwrap();
+        assert_eq!(frames.len(), 3, "25 records at 10/frame");
+        let mut back = Vec::new();
+        for f in &frames {
+            back.extend(decode_frame(f).unwrap());
+        }
+        assert_eq!(back, t.records());
+    }
+
+    #[test]
+    fn split_frames_rejects_garbage() {
+        assert!(split_frames(b"not a tmp2 stream").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The tempod wire protocol: length-delimited messages over a byte
+//! stream.
+//!
+//! Both directions use the same framing — one opcode/status byte, a
+//! `u32` LE payload length, then the payload:
+//!
+//! ```text
+//! +------+-------------+------------------+
+//! | code | len u32 LE  | payload (len B)  |
+//! +------+-------------+------------------+
+//! ```
+//!
+//! Requests (client → server):
+//!
+//! | code | name | payload | reply |
+//! |------|------|---------|-------|
+//! | [`OP_OPEN`] | open | `tenant\n` + optional program text | empty |
+//! | [`OP_FRAME`] | frame | one raw TMP2 frame (header + payload) | **none** (pipelined) |
+//! | [`OP_SYNC`] | sync | empty | tenant [`Tally`](crate::Tally) JSON |
+//! | [`OP_LAYOUT`] | layout | empty | `tempo-layout` text |
+//! | [`OP_STATS`] | stats | empty | tenant metrics snapshot JSON |
+//! | [`OP_SERVER_STATS`] | server-stats | empty | global metrics snapshot JSON |
+//! | [`OP_SHUTDOWN`] | shutdown | empty | empty (server then stops) |
+//!
+//! Replies carry [`STATUS_OK`] or [`STATUS_ERR`] (payload = UTF-8
+//! message). `frame` deliberately has no reply so a client can pipeline
+//! a whole trace without a per-frame round trip; `sync` acts as the
+//! ordered barrier that confirms everything before it was ingested.
+
+use std::io::{self, Read, Write};
+
+use tempo::trace::v2::MAX_FRAME_PAYLOAD;
+
+/// Bind a tenant to this connection: payload is the tenant name, one
+/// line, optionally followed by the tenant's program text (required the
+/// first time the name is seen).
+pub const OP_OPEN: u8 = 0x01;
+/// One raw TMP2 frame for the connection's tenant. No reply.
+pub const OP_FRAME: u8 = 0x02;
+/// Barrier: replies with the tenant's ingestion tally once every prior
+/// frame on this tenant's queue has been processed.
+pub const OP_SYNC: u8 = 0x03;
+/// Folds the pending tail into a final epoch (end-of-stream semantics)
+/// and replies with the adopted layout in `tempo-layout` text form.
+pub const OP_LAYOUT: u8 = 0x04;
+/// Replies with the tenant's scoped metrics registry as snapshot JSON.
+pub const OP_STATS: u8 = 0x05;
+/// Replies with the process-global metrics registry as snapshot JSON.
+/// The only request valid before `open`.
+pub const OP_SERVER_STATS: u8 = 0x06;
+/// Asks the server to stop accepting connections and exit its serve
+/// loop once current connections drain.
+pub const OP_SHUTDOWN: u8 = 0x07;
+
+/// Reply status: request succeeded, payload is the result.
+pub const STATUS_OK: u8 = 0x00;
+/// Reply status: request failed, payload is a UTF-8 error message.
+pub const STATUS_ERR: u8 = 0x01;
+
+/// Hard bound on any message payload: the largest legal frame message
+/// (TMP2 frame header + max payload) plus 1 MiB of headroom for program
+/// texts. A declared length beyond this is a protocol violation, not an
+/// allocation request — the same discipline as
+/// [`MAX_FRAME_PAYLOAD`] itself.
+pub const MAX_MESSAGE_LEN: u32 = MAX_FRAME_PAYLOAD + (1 << 20);
+
+/// Writes one message (no flush; callers flush at their barrier points).
+///
+/// # Errors
+///
+/// Fails on I/O errors, or on a payload longer than [`MAX_MESSAGE_LEN`].
+pub fn write_message<W: Write>(w: &mut W, code: u8, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_MESSAGE_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "message payload of {} bytes over the wire bound",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&[code])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one message. `Ok(None)` is a clean end of stream (the peer
+/// closed between messages); an EOF *inside* a message is an error — the
+/// peer died mid-message.
+///
+/// # Errors
+///
+/// Fails on I/O errors, truncation inside a message, or a declared
+/// length over [`MAX_MESSAGE_LEN`].
+pub fn read_message<R: Read>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut code = [0u8; 1];
+    loop {
+        match r.read(&mut code) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_MESSAGE_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared message length {len} over the wire bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((code[0], payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_roundtrip() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, OP_OPEN, b"tenant-a\n").unwrap();
+        write_message(&mut buf, OP_SYNC, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_message(&mut r).unwrap(),
+            Some((OP_OPEN, b"tenant-a\n".to_vec()))
+        );
+        assert_eq!(read_message(&mut r).unwrap(), Some((OP_SYNC, Vec::new())));
+        assert_eq!(read_message(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn eof_inside_a_message_is_an_error() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, OP_FRAME, &[1, 2, 3, 4, 5]).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                read_message(&mut r).is_err(),
+                "cut at {cut} must not look like a clean close"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_not_allocated() {
+        let mut buf = vec![OP_FRAME];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = buf.as_slice();
+        assert!(read_message(&mut r).is_err());
+    }
+}

@@ -275,6 +275,80 @@ impl Default for RuntimeFaultPlan {
     }
 }
 
+/// One class of misbehaving *network client* — the connection-level
+/// counterpart of [`FaultClass`] (bad bytes) and [`RuntimeFault`] (bad
+/// workers), aimed at a server accepting framed trace streams (the
+/// `tempod` daemon).
+///
+/// A client fault does not corrupt the bytes themselves; it corrupts the
+/// *delivery*: the stream stops mid-message, or arrives in a pathological
+/// trickle. The server contract under both is the same as the lossy
+/// readers' — tally, stay up, keep serving everyone else. Deliberately
+/// not `#[non_exhaustive]`: the fault matrix matches on every class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientFault {
+    /// The connection drops partway through a message: only a prefix of
+    /// the stream is ever delivered — a client killed mid-frame.
+    DropMidMessage,
+    /// The stream arrives in tiny bursts (1–7 bytes each) — a client on a
+    /// congested link or deliberately starving the server's reader.
+    SlowTrickle,
+}
+
+impl ClientFault {
+    /// Every client fault class, for matrix-style iteration.
+    pub const ALL: [ClientFault; 2] = [ClientFault::DropMidMessage, ClientFault::SlowTrickle];
+
+    /// Stable lowercase name, used in test output and CI logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientFault::DropMidMessage => "drop-mid-message",
+            ClientFault::SlowTrickle => "slow-trickle",
+        }
+    }
+
+    /// Plans the delivery of `stream` under this fault: the chunks a
+    /// writer should send, in order, before closing the connection.
+    ///
+    /// Deterministic in `(self, stream, seed)`, like
+    /// [`FaultClass::inject`]. For [`DropMidMessage`](Self::DropMidMessage)
+    /// the plan is a single proper prefix (at least one byte short, cut at
+    /// a random interior point) — the remainder is never sent. For
+    /// [`SlowTrickle`](Self::SlowTrickle) the plan covers the whole stream
+    /// in 1–7-byte slices.
+    pub fn schedule(self, stream: &[u8], seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            ClientFault::DropMidMessage => {
+                if stream.is_empty() {
+                    return Vec::new();
+                }
+                let cut = rng.gen_range(0..stream.len());
+                if cut == 0 {
+                    return Vec::new();
+                }
+                vec![stream[..cut].to_vec()]
+            }
+            ClientFault::SlowTrickle => {
+                let mut chunks = Vec::new();
+                let mut at = 0usize;
+                while at < stream.len() {
+                    let n = rng.gen_range(1..RECORD_LEN).min(stream.len() - at);
+                    chunks.push(stream[at..at + n].to_vec());
+                    at += n;
+                }
+                chunks
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ClientFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +450,52 @@ mod tests {
             for input in [&[][..], &[0x54][..], &fixture(0)[..]] {
                 for seed in 0..3 {
                     let _ = class.inject(input, seed); // must not panic
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn client_fault_schedules_are_deterministic() {
+        let stream = fixture(20);
+        for fault in ClientFault::ALL {
+            for seed in 0..5 {
+                assert_eq!(
+                    fault.schedule(&stream, seed),
+                    fault.schedule(&stream, seed),
+                    "{fault} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_mid_message_delivers_a_proper_prefix() {
+        let stream = fixture(20);
+        for seed in 0..10 {
+            let plan = ClientFault::DropMidMessage.schedule(&stream, seed);
+            let sent: Vec<u8> = plan.concat();
+            assert!(sent.len() < stream.len(), "must cut the stream short");
+            assert_eq!(&stream[..sent.len()], &sent[..], "prefix is verbatim");
+        }
+    }
+
+    #[test]
+    fn slow_trickle_delivers_everything_in_small_chunks() {
+        let stream = fixture(20);
+        for seed in 0..10 {
+            let plan = ClientFault::SlowTrickle.schedule(&stream, seed);
+            assert_eq!(plan.concat(), stream, "trickle must cover the stream");
+            assert!(plan.iter().all(|c| (1..RECORD_LEN).contains(&c.len())));
+        }
+    }
+
+    #[test]
+    fn client_fault_schedules_are_total_on_degenerate_streams() {
+        for fault in ClientFault::ALL {
+            for stream in [&[][..], &[0x54][..]] {
+                for seed in 0..3 {
+                    let _ = fault.schedule(stream, seed); // must not panic
                 }
             }
         }

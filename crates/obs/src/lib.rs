@@ -19,6 +19,9 @@
 //! `sim.misses`; the full map to paper quantities is DESIGN.md §11). A
 //! [`Snapshot`] of the registry renders to deterministic text or JSON and
 //! parses back, which is what backs `--metrics-out` and `tempo stats`.
+//! Long-running servers scope recording per tenant with [`scoped`]: a
+//! thread that holds a scope guard routes every free-function metric into
+//! its own [`Registry`] instead of the global one (DESIGN.md §16).
 //!
 //! Structured events ([`event`]) are separate from metrics: they are
 //! emitted to stderr as they happen, in text or JSON-lines form, and are
@@ -40,34 +43,43 @@ mod span;
 
 pub use event::{event, format_event, set_log_format, EventField, LogFormat};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
-pub use registry::{global, Registry};
+pub use registry::{global, scoped, with_current, Registry, ScopeGuard};
 pub use snapshot::{MetricValue, Snapshot};
 pub use span::Span;
 
 use std::sync::Arc;
 
-/// The global counter named `name` (registering it on first use).
+/// The current counter named `name` (registering it on first use).
+///
+/// "Current" is the innermost [`scoped`] registry on this thread, or the
+/// [`global`] registry outside any scope — so library code instrumented
+/// with these free functions records per-tenant when a daemon worker
+/// holds a scope, and process-wide everywhere else.
 pub fn counter(name: &str) -> Arc<Counter> {
-    global().counter(name)
+    with_current(|r| r.counter(name))
 }
 
-/// The global gauge named `name` (registering it on first use).
+/// The current gauge named `name` (registering it on first use; scope
+/// resolution as in [`counter`]).
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    global().gauge(name)
+    with_current(|r| r.gauge(name))
 }
 
-/// The global histogram named `name` (registering it on first use).
+/// The current histogram named `name` (registering it on first use;
+/// scope resolution as in [`counter`]).
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    global().histogram(name)
+    with_current(|r| r.histogram(name))
 }
 
-/// Starts a scoped timer on the global registry; dropping the returned
-/// [`Span`] records the elapsed milliseconds into histogram `name`.
+/// Starts a scoped timer on the current registry; dropping the returned
+/// [`Span`] records the elapsed milliseconds into histogram `name`
+/// (scope resolution as in [`counter`]).
 pub fn span(name: &str) -> Span {
-    global().span(name)
+    with_current(|r| r.span(name))
 }
 
-/// A point-in-time snapshot of the global registry, in sorted name order.
+/// A point-in-time snapshot of the current registry, in sorted name
+/// order (scope resolution as in [`counter`]).
 pub fn snapshot() -> Snapshot {
-    global().snapshot()
+    with_current(Registry::snapshot)
 }

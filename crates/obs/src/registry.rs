@@ -6,7 +6,9 @@
 //! directly. Names are dotted (`stage.metric`) and snapshots iterate in
 //! sorted name order, which keeps every rendering deterministic.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use crate::metrics::{Counter, Gauge, Histogram};
@@ -115,10 +117,61 @@ impl Registry {
     }
 }
 
-/// The process-wide registry every pipeline stage records into.
+/// The process-wide registry every pipeline stage records into — unless
+/// the recording thread is inside a [`scoped`] registry, which the free
+/// functions ([`crate::counter`] etc.) prefer.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+thread_local! {
+    /// Innermost-last stack of scoped registries for this thread.
+    static SCOPES: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Routes this thread's metric recording into `registry` until the
+/// returned guard drops.
+///
+/// Scopes nest (innermost wins) and are strictly per-thread: the guard is
+/// `!Send`, other threads keep recording into their own scope or the
+/// [`global`] registry, and a long-running server can give each tenant
+/// worker its own registry without the tenants' `engine.*` counters
+/// bleeding into one another.
+pub fn scoped(registry: Arc<Registry>) -> ScopeGuard {
+    SCOPES.with(|s| s.borrow_mut().push(registry));
+    ScopeGuard {
+        _not_send: PhantomData,
+    }
+}
+
+/// Calls `f` with the registry currently in effect on this thread: the
+/// innermost [`scoped`] registry, or [`global`] outside any scope.
+pub fn with_current<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    // Clone out of the borrow so `f` may itself enter/exit scopes.
+    let scope = SCOPES.with(|s| s.borrow().last().cloned());
+    match scope {
+        Some(r) => f(&r),
+        None => f(global()),
+    }
+}
+
+/// Keeps a [`scoped`] registry in effect; dropping it restores the
+/// previous scope (or the global registry).
+#[must_use = "dropping the guard immediately ends the scope"]
+#[derive(Debug)]
+pub struct ScopeGuard {
+    /// Scopes are thread-local; sending the guard elsewhere would pop the
+    /// wrong stack.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +230,46 @@ mod tests {
         r.counter("a").incr();
         r.reset();
         assert!(r.snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn scoped_registry_captures_free_functions() {
+        let tenant = Arc::new(Registry::new());
+        {
+            let _guard = scoped(Arc::clone(&tenant));
+            crate::counter("scope.test.hits").add(3);
+        }
+        // After the guard drops, recording falls back to global.
+        crate::counter("scope.test.hits").add(4);
+        assert_eq!(tenant.counter("scope.test.hits").get(), 3);
+        assert_eq!(global().counter("scope.test.hits").get(), 4);
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let outer = Arc::new(Registry::new());
+        let inner = Arc::new(Registry::new());
+        let _o = scoped(Arc::clone(&outer));
+        {
+            let _i = scoped(Arc::clone(&inner));
+            crate::counter("scope.nest").incr();
+        }
+        crate::counter("scope.nest").incr();
+        assert_eq!(inner.counter("scope.nest").get(), 1);
+        assert_eq!(outer.counter("scope.nest").get(), 1);
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let tenant = Arc::new(Registry::new());
+        let _guard = scoped(Arc::clone(&tenant));
+        std::thread::spawn(|| {
+            crate::counter("scope.thread").add(7);
+        })
+        .join()
+        .unwrap();
+        // The spawned thread had no scope: its write went global.
+        assert_eq!(tenant.counter("scope.thread").get(), 0);
+        assert_eq!(global().counter("scope.thread").get(), 7);
     }
 }

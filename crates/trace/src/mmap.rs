@@ -400,10 +400,13 @@ const INGEST_VALUES: &str = "map, mmap, stream, read";
 /// `stream` forces the streaming path, unset defers to the size budget.
 /// An *invalid* value also defers to the budget, but loudly: a forced
 /// ingestion path that silently stops forcing is exactly the kind of CI
-/// config rot the override exists to catch, so the fallback announces
-/// itself once per process on stderr, bumps the
-/// `trace.ingest_override_invalid` counter, and emits a structured event
-/// naming the accepted values.
+/// config rot the override exists to catch, so the fallback bumps the
+/// `trace.ingest_override_invalid` counter and emits a structured event
+/// naming the accepted values. The warning deliberately has no
+/// once-per-process latch: in a long-running daemon a process-global
+/// `Once` would let the first tenant's session consume the warning for
+/// every later one, so the event fires on every affected open and any
+/// rate limiting is the log consumer's job.
 fn ingest_override() -> Option<bool> {
     let value = std::env::var("TEMPO_STREAM_INGEST").ok()?;
     let parsed = parse_ingest_override(&value);
@@ -417,13 +420,6 @@ fn ingest_override() -> Option<bool> {
                 ("accepted", INGEST_VALUES.into()),
             ],
         );
-        static WARNED: std::sync::Once = std::sync::Once::new();
-        WARNED.call_once(|| {
-            eprintln!(
-                "warning: TEMPO_STREAM_INGEST={value} is not a valid ingestion \
-                 override (accepted: {INGEST_VALUES}); deferring to the size budget"
-            );
-        });
     }
     parsed
 }

@@ -608,6 +608,96 @@ pub fn read_binary_v2<R: Read>(r: R) -> Result<Trace, TraceIoError> {
 }
 
 // ---------------------------------------------------------------------
+// Standalone frame decode (daemon ingestion)
+// ---------------------------------------------------------------------
+
+/// Why [`decode_frame`] rejected a standalone frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDefect {
+    /// Shorter than a frame header, or the payload falls short of the
+    /// declared length.
+    Truncated,
+    /// Bytes remain past the declared payload length.
+    TrailingBytes,
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized,
+    /// The payload does not match the frame's CRC-32.
+    Checksum,
+    /// A CRC-valid payload that does not decode: a record count the
+    /// payload cannot hold, defective varints, leftover payload bytes, or
+    /// a zero-extent record (which the strict readers also reject).
+    Malformed,
+}
+
+impl std::fmt::Display for FrameDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            FrameDefect::Truncated => "frame truncated",
+            FrameDefect::TrailingBytes => "bytes past the declared payload",
+            FrameDefect::Oversized => "declared payload over the frame bound",
+            FrameDefect::Checksum => "frame CRC mismatch",
+            FrameDefect::Malformed => "frame payload does not decode",
+        };
+        f.write_str(what)
+    }
+}
+
+impl std::error::Error for FrameDefect {}
+
+/// Decodes one self-contained v2 frame — the 12-byte header plus payload,
+/// exactly as [`V2Writer`] emits it — applying every validation the
+/// streaming readers apply: length bounds, CRC, record-count
+/// plausibility, varint integrity, and the strict zero-extent rule.
+///
+/// This is the ingestion primitive for socket peers (the `tempod`
+/// daemon): a client ships whole frames, each frame is accepted or
+/// rejected as a unit, and a defective frame cannot poison the session —
+/// the caller tallies it and moves on, exactly like a lossy reader
+/// skipping a bad frame. Records decoded from accepted frames are
+/// byte-equivalent to what [`V2Source`] yields for the same stream.
+///
+/// # Errors
+///
+/// Returns the [`FrameDefect`] describing the first validation failure.
+pub fn decode_frame(frame: &[u8]) -> Result<Vec<TraceRecord>, FrameDefect> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return Err(FrameDefect::Truncated);
+    }
+    let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("slice is 4 bytes"));
+    let record_count = u32::from_le_bytes(frame[4..8].try_into().expect("slice is 4 bytes"));
+    let crc = u32::from_le_bytes(frame[8..12].try_into().expect("slice is 4 bytes"));
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(FrameDefect::Oversized);
+    }
+    let body = &frame[FRAME_HEADER_LEN..];
+    let declared = payload_len as usize;
+    if body.len() < declared {
+        return Err(FrameDefect::Truncated);
+    }
+    if body.len() > declared {
+        return Err(FrameDefect::TrailingBytes);
+    }
+    if crc32(body) != crc {
+        return Err(FrameDefect::Checksum);
+    }
+    if u64::from(record_count) * 2 > u64::from(payload_len) {
+        return Err(FrameDefect::Malformed);
+    }
+    let mut procs = Vec::new();
+    let mut bytes = Vec::new();
+    decode_frame_soa(body, record_count as usize, &mut procs, &mut bytes)
+        .map_err(|_| FrameDefect::Malformed)?;
+    let mut records = Vec::with_capacity(procs.len());
+    for (&proc, &extent) in procs.iter().zip(&bytes) {
+        if extent == 0 {
+            return Err(FrameDefect::Malformed);
+        }
+        records.push(TraceRecord::new(tempo_program::ProcId::new(proc), extent));
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------
 // Frame scan (shard planning)
 // ---------------------------------------------------------------------
 
@@ -1020,6 +1110,73 @@ mod tests {
             read_binary_v2(&buf[..]).unwrap_err(),
             TraceIoError::CorruptFrame { frame: 0 }
         ));
+    }
+
+    #[test]
+    fn decode_frame_roundtrips_writer_frames() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        let mut w = V2Writer::with_frame_records(&mut buf, 2).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        // Slice each frame out via the scan and decode it standalone.
+        let frames = scan_frames(buf.as_slice()).unwrap();
+        let mut back = Vec::new();
+        for f in &frames {
+            let start = usize::try_from(f.offset).unwrap();
+            let end = start + FRAME_HEADER_LEN + f.payload_len as usize;
+            back.extend(decode_frame(&buf[start..end]).unwrap());
+        }
+        assert_eq!(back, t.records());
+    }
+
+    #[test]
+    fn decode_frame_rejects_every_defect_class() {
+        let mut payload = Vec::new();
+        push_varint(&mut payload, 7);
+        push_varint(&mut payload, 9);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert!(decode_frame(&frame).is_ok());
+
+        assert_eq!(decode_frame(&frame[..8]), Err(FrameDefect::Truncated));
+        assert_eq!(
+            decode_frame(&frame[..frame.len() - 1]),
+            Err(FrameDefect::Truncated)
+        );
+        let mut long = frame.clone();
+        long.push(0);
+        assert_eq!(decode_frame(&long), Err(FrameDefect::TrailingBytes));
+
+        let mut oversized = frame.clone();
+        oversized[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&oversized), Err(FrameDefect::Oversized));
+
+        let mut flipped = frame.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(decode_frame(&flipped), Err(FrameDefect::Checksum));
+
+        // Hostile record count over a valid payload.
+        let mut hostile = frame.clone();
+        hostile[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&hostile), Err(FrameDefect::Malformed));
+
+        // Zero-extent record (CRC-valid): rejected like the strict reader.
+        let mut zpayload = Vec::new();
+        push_varint(&mut zpayload, 7);
+        push_varint(&mut zpayload, 0);
+        let mut zframe = Vec::new();
+        zframe.extend_from_slice(&(zpayload.len() as u32).to_le_bytes());
+        zframe.extend_from_slice(&1u32.to_le_bytes());
+        zframe.extend_from_slice(&crc32(&zpayload).to_le_bytes());
+        zframe.extend_from_slice(&zpayload);
+        assert_eq!(decode_frame(&zframe), Err(FrameDefect::Malformed));
     }
 
     #[test]

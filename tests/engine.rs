@@ -109,6 +109,42 @@ proptest! {
     }
 }
 
+proptest! {
+    /// `plan_epochs` is a partition of the trace: the plan sums to the
+    /// trace's total record count (zero-record frames included) and every
+    /// epoch but the tail meets the target.
+    #[test]
+    fn plan_epochs_partitions_the_trace(
+        counts in prop::collection::vec(0u32..5_000, 0..64),
+        target in 1u64..10_000,
+    ) {
+        let frames: Vec<tempo::trace::v2::FrameEntry> = counts
+            .iter()
+            .map(|&records| tempo::trace::v2::FrameEntry {
+                offset: 0,
+                payload_len: 0,
+                records,
+            })
+            .collect();
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        let plan = tempo::plan_epochs(&frames, target);
+
+        prop_assert_eq!(plan.iter().sum::<u64>(), total, "plan must cover the trace");
+        if total == 0 {
+            prop_assert!(plan.is_empty(), "an empty trace plans no epochs");
+        }
+        for (i, &len) in plan.iter().enumerate() {
+            prop_assert!(len > 0, "epoch {i} is empty");
+            if i + 1 < plan.len() {
+                prop_assert!(
+                    len >= target,
+                    "non-tail epoch {i} has {len} records, target {target}"
+                );
+            }
+        }
+    }
+}
+
 /// The engine is deterministic: two engines fed the same epochs produce
 /// identical reports and layouts (no ambient state, no RNG).
 #[test]
